@@ -1,0 +1,514 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md experiment index E1..E11).
+
+   Usage: dune exec bench/main.exe -- [--only fig11a,fig5] [--trials N]
+            [--big-trials N] [--fast] [--out-dir DIR]
+
+   Absolute numbers differ from the paper (their testbed and LP solver, our
+   simulator); each section prints the paper's qualitative claim next to
+   the measured shape so the comparison is explicit. *)
+
+let out_dir = ref "bench_out"
+let trials = ref 10
+let big_trials = ref 3
+let only : string list ref = ref []
+let fast = ref false
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--fast" :: rest ->
+      fast := true;
+      trials := 2;
+      big_trials := 1;
+      go rest
+    | "--trials" :: n :: rest ->
+      trials := int_of_string n;
+      go rest
+    | "--big-trials" :: n :: rest ->
+      big_trials := int_of_string n;
+      go rest
+    | "--only" :: s :: rest ->
+      only := String.split_on_char ',' s;
+      go rest
+    | "--out-dir" :: d :: rest ->
+      out_dir := d;
+      go rest
+    | other :: _ -> failwith ("unknown argument: " ^ other)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let want section = !only = [] || List.mem section !only
+let banner title = Printf.printf "\n==== %s ====\n%!" title
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let period_of = function
+  | None -> infinity
+  | Some (s : Formulations.solution) -> s.Formulations.period
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Fig. 1: a single tree is not enough.                            *)
+
+let fig1 () =
+  banner "E1 / Fig.1 — single multicast tree vs. combination of trees";
+  let p = Paper_platforms.fig1 () in
+  let best = Option.get (Complexity.best_single_tree p) in
+  let t1e, t2e = Paper_platforms.fig1_trees () in
+  let set =
+    Tree_set.make
+      [
+        (Multicast_tree.of_edges_exn p t1e, Rat.of_ints 1 2);
+        (Multicast_tree.of_edges_exn p t2e, Rat.of_ints 1 2);
+      ]
+  in
+  let sched = Schedule.of_tree_set set in
+  let sim = Result.get_ok (Event_sim.run sched ~periods:16) in
+  Printf.printf "%-44s %10s %10s\n" "quantity" "paper" "measured";
+  Printf.printf "%-44s %10s %10s\n" "upper bound on throughput (P7 in-capacity)" "1" "1";
+  Printf.printf "%-44s %10s %10s\n" "best single-tree throughput" "< 1"
+    (Rat.to_string (Multicast_tree.throughput best));
+  Printf.printf "%-44s %10s %10s\n" "two trees at weight 1/2: feasible" "yes"
+    (if Tree_set.is_feasible set then "yes" else "no");
+  Printf.printf "%-44s %10s %10.3f\n" "two-tree throughput (simulated)" "1"
+    sim.Event_sim.measured_throughput;
+  Printf.printf "shape check: single tree strictly below 1, combination reaches it — %s\n"
+    (if
+       Rat.(Multicast_tree.throughput best < one)
+       && abs_float (sim.Event_sim.measured_throughput -. 1.0) < 0.05
+     then "OK"
+     else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E2 — §4 complexity table: gadget correspondence.                     *)
+
+let table_complexity () =
+  banner "E2 / Section 4 — NP-hardness gadget: best tree throughput = B/K*";
+  let rng = Random.State.make [| 2004 |] in
+  Printf.printf "%6s %6s %6s %6s | %12s %12s %8s\n" "trial" "|X|" "|C|" "B" "B/K*"
+    "tree thr" "match";
+  let all_ok = ref true in
+  for trial = 1 to 8 do
+    let universe = 4 + Random.State.int rng 3 in
+    let n_sets = 3 + Random.State.int rng 2 in
+    let cover = Set_cover.random rng ~universe ~n_sets ~density:0.4 in
+    let bound = 1 + Random.State.int rng 2 in
+    let thr, k_star, ok = Complexity.verify_gadget_correspondence cover ~bound in
+    if not ok then all_ok := false;
+    Printf.printf "%6d %6d %6d %6d | %12.4f %12.4f %8s\n" trial universe n_sets bound
+      (float_of_int bound /. float_of_int k_star)
+      thr
+      (if ok then "OK" else "FAIL")
+  done;
+  Printf.printf "shape check: single-tree optimum always equals B/K* (Theorems 1-2) — %s\n"
+    (if !all_ok then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Fig. 4: neither bound tight.                                    *)
+
+let fig4 () =
+  banner "E3 / Fig.4 — neither LP bound is tight";
+  let p = Paper_platforms.fig4 () in
+  let lb = Option.get (Formulations.multicast_lb p) in
+  let ub = Option.get (Formulations.multicast_ub p) in
+  let opt = Option.get (Complexity.optimal_tree_packing p) in
+  let opt_thr = Rat.to_float (Tree_set.throughput opt) in
+  Printf.printf "%-36s %10s %10s\n" "quantity (throughput)" "paper" "measured";
+  Printf.printf "%-36s %10s %10.4f\n" "Multicast-LB (optimistic)" "2/3"
+    lb.Formulations.throughput;
+  Printf.printf "%-36s %10s %10.4f\n" "best multicast (tree packing)" "1/2" opt_thr;
+  Printf.printf "%-36s %10s %10.4f\n" "Multicast-UB (scatter)" "1/3"
+    ub.Formulations.throughput;
+  Printf.printf "shape check: LB > OPT > UB strictly — %s\n"
+    (if
+       lb.Formulations.throughput > opt_thr +. 0.01
+       && opt_thr > ub.Formulations.throughput +. 0.01
+     then "OK"
+     else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Fig. 5: the |T| gap family.                                     *)
+
+let fig5 () =
+  banner "E4 / Fig.5 — UB/LB period ratio reaches |P_target|";
+  Printf.printf "%10s %12s %12s %12s %10s\n" "targets" "LB period" "UB period" "ratio" "paper";
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let p = Paper_platforms.fig5 ~n_targets:n in
+      let lb = period_of (Formulations.multicast_lb p) in
+      let ub = period_of (Formulations.multicast_ub p) in
+      let ratio = ub /. lb in
+      if abs_float (ratio -. float_of_int n) > 0.15 then ok := false;
+      Printf.printf "%10d %12.4f %12.4f %12.3f %10d\n" n lb ub ratio n)
+    [ 2; 3; 4; 6; 8 ];
+  Printf.printf "shape check: ratio tracks the target count — %s\n"
+    (if !ok then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E5-E8 — Fig. 11: the main heuristic comparison.                      *)
+
+let densities = [ 0.1; 0.2; 0.4; 0.6; 0.8; 1.0 ]
+
+let ratio_methods =
+  [ "lower bound"; "broadcast"; "MCPH"; "Augm. MC"; "Red. BC"; "Multisource MC" ]
+
+(* Runs the portfolio across seeds and densities; returns
+   (density, method -> mean period) rows plus the LAN pool size. *)
+let fig11_data params n_trials ~tries =
+  let lan = ref 0 in
+  let table =
+    List.map
+      (fun d ->
+        let per_method = Hashtbl.create 16 in
+        List.iter (fun m -> Hashtbl.replace per_method m []) ("scatter" :: ratio_methods);
+        for seed = 1 to n_trials do
+          (* Same seed at every density: the paper reuses 10 fixed
+             platforms per class and varies only the target draw. *)
+          let rng = Random.State.make [| seed; 1789 |] in
+          let probe = Tiers.generate rng params ~n_targets:1 in
+          lan := List.length (Platform.lan_nodes probe);
+          let k = max 1 (int_of_float (Float.round (d *. float_of_int !lan))) in
+          let n_targets = min k !lan in
+          let rng = Random.State.make [| seed; 1789 |] in
+          let p = Tiers.generate rng params ~n_targets in
+          let report = Heuristics.run_all ~max_tries_per_round:tries p in
+          List.iter
+            (fun (e : Heuristics.entry) ->
+              if Hashtbl.mem per_method e.Heuristics.name then
+                Hashtbl.replace per_method e.Heuristics.name
+                  (e.Heuristics.period :: Hashtbl.find per_method e.Heuristics.name))
+            report.Heuristics.entries
+        done;
+        let mean name =
+          let xs = Hashtbl.find per_method name in
+          List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+        in
+        (d, mean))
+      densities
+  in
+  (table, !lan)
+
+let ensure_out_dir () =
+  try Unix.mkdir !out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* Gnuplot-ready data files: one row per density, one column per method —
+   the paper's Fig. 11 panels are plots of exactly these series. *)
+let write_fig11_dat fname ~vs table =
+  ensure_out_dir ();
+  let oc = open_out (Filename.concat !out_dir fname) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        ("# density " ^ String.concat " " (List.map (String.map (fun c -> if c = ' ' then '_' else c)) ("scatter" :: ratio_methods)) ^ "\n");
+      List.iter
+        (fun (d, mean) ->
+          let base = mean vs in
+          output_string oc (Printf.sprintf "%.2f" d);
+          List.iter
+            (fun m -> output_string oc (Printf.sprintf " %.4f" (mean m /. base)))
+            ("scatter" :: ratio_methods);
+          output_string oc "\n")
+        table)
+
+let print_fig11 name ~vs table =
+  Printf.printf "\n-- %s: mean period ratio to \"%s\" --\n" name vs;
+  Printf.printf "%8s" "density";
+  List.iter (fun m -> Printf.printf " %14s" m) ("scatter" :: ratio_methods);
+  Printf.printf "\n";
+  List.iter
+    (fun (d, mean) ->
+      let base = mean vs in
+      Printf.printf "%8.2f" d;
+      List.iter (fun m -> Printf.printf " %14.3f" (mean m /. base)) ("scatter" :: ratio_methods);
+      Printf.printf "\n")
+    table
+
+let shape_checks_fig11 table =
+  (* The §7 findings: (1) the refined LP heuristics sit close to the lower
+     bound and far below scatter at moderate densities; (2) MCPH is close
+     to them; (3) whole-platform broadcast becomes competitive once the
+     density is large enough. *)
+  let ok1 = ref true and ok2 = ref true and ok3 = ref true in
+  List.iter
+    (fun (d, mean) ->
+      if d >= 0.4 then begin
+        let lb = mean "lower bound" in
+        let best_lp = min (mean "Augm. MC") (min (mean "Red. BC") (mean "Multisource MC")) in
+        if best_lp > 0.8 *. mean "scatter" then ok1 := false;
+        if best_lp > 2.2 *. lb then ok1 := false;
+        if mean "MCPH" > 2.5 *. best_lp then ok2 := false;
+        if mean "broadcast" > 1.7 *. best_lp then ok3 := false
+      end)
+    table;
+  Printf.printf "shape check: LP heuristics close to LB, well below scatter — %s\n"
+    (if !ok1 then "OK" else "MISMATCH");
+  Printf.printf "shape check: MCPH close to the LP heuristics — %s\n"
+    (if !ok2 then "OK" else "MISMATCH");
+  Printf.printf "shape check: plain broadcast competitive at density >= 0.4 — %s\n"
+    (if !ok3 then "OK" else "MISMATCH")
+
+let fig11_small () =
+  banner "E5/E6 / Fig.11(a,b) — small platforms (30 nodes, 17 LAN hosts)";
+  Printf.printf "trials per density: %d\n%!" !trials;
+  let table, lan = fig11_data Tiers.small_params !trials ~tries:3 in
+  Printf.printf "LAN host pool: %d\n" lan;
+  print_fig11 "Fig.11(a)" ~vs:"scatter" table;
+  print_fig11 "Fig.11(b)" ~vs:"lower bound" table;
+  write_fig11_dat "fig11a.dat" ~vs:"scatter" table;
+  write_fig11_dat "fig11b.dat" ~vs:"lower bound" table;
+  Printf.printf "gnuplot data: %s/fig11{a,b}.dat\n" !out_dir;
+  shape_checks_fig11 table
+
+let fig11_big () =
+  banner "E7/E8 / Fig.11(c,d) — big platforms (65 nodes, 47 LAN hosts)";
+  Printf.printf "trials per density: %d\n%!" !big_trials;
+  let table, lan = fig11_data Tiers.big_params !big_trials ~tries:2 in
+  Printf.printf "LAN host pool: %d\n" lan;
+  print_fig11 "Fig.11(c)" ~vs:"scatter" table;
+  print_fig11 "Fig.11(d)" ~vs:"lower bound" table;
+  write_fig11_dat "fig11c.dat" ~vs:"scatter" table;
+  write_fig11_dat "fig11d.dat" ~vs:"lower bound" table;
+  Printf.printf "gnuplot data: %s/fig11{c,d}.dat\n" !out_dir;
+  shape_checks_fig11 table
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Fig. 12: one topology, MCPH vs Multisource MC, DOT dumps.       *)
+
+let fig12 () =
+  banner "E9 / Fig.12 — topology walk-through (MCPH vs Multisource MC)";
+  ensure_out_dir ();
+  let rng = Random.State.make [| 1996 |] in
+  let p = Tiers.generate rng Tiers.small_params ~n_targets:8 in
+  Printf.printf "%s\n" (Platform.describe p);
+  Format.printf "topology: %a@." Topology_stats.pp (Topology_stats.compute p);
+  Dot.save
+    (Filename.concat !out_dir "fig12_topology.dot")
+    (Dot.digraph ~highlight_nodes:p.Platform.targets p.Platform.graph);
+  let mcph = Option.get (Mcph.run p) in
+  Dot.save
+    (Filename.concat !out_dir "fig12_mcph.dot")
+    (Dot.digraph ~highlight_nodes:p.Platform.targets
+       ~highlight_edges:(Multicast_tree.edges mcph.Mcph.tree) p.Platform.graph);
+  let ms = Option.get (Multisource.run ~max_tries_per_round:3 p) in
+  let ms_edges = List.map fst ms.Multisource.solution.Formulations.edge_usage in
+  Dot.save
+    (Filename.concat !out_dir "fig12_multisource.dot")
+    (Dot.digraph ~highlight_nodes:p.Platform.targets
+       ~diamond_nodes:(List.tl ms.Multisource.sources) ~highlight_edges:ms_edges
+       p.Platform.graph);
+  let mcph_period = Rat.to_float mcph.Mcph.period in
+  Printf.printf "MCPH period: %.1f   Multisource MC period: %.1f (secondary sources: %s)\n"
+    mcph_period ms.Multisource.period
+    (String.concat ", "
+       (List.map (Digraph.label p.Platform.graph) (List.tl ms.Multisource.sources)));
+  Printf.printf "DOT dumps in %s/ (fig12_{topology,mcph,multisource}.dot)\n" !out_dir;
+  Printf.printf
+    "shape check: Multisource MC at least as fast as the MCPH tree (paper: 789 vs 1000) — %s\n"
+    (if ms.Multisource.period <= mcph_period +. 1e-6 then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E10 — §7 running-time comparison (bechamel).                         *)
+
+let speed () =
+  banner "E10 / Section 7 — running time: MCPH vs LP-based methods";
+  let rng = Random.State.make [| 11 |] in
+  let p = Tiers.generate rng Tiers.small_params ~n_targets:8 in
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    Test.make_grouped ~name:"" ~fmt:"%s%s"
+      [
+        Test.make ~name:"MCPH (tree heuristic)" (Staged.stage (fun () -> ignore (Mcph.run p)));
+        Test.make ~name:"Multicast-UB (scatter LP)"
+          (Staged.stage (fun () -> ignore (Formulations.multicast_ub p)));
+        Test.make ~name:"Broadcast-EB (cut-generation LP)"
+          (Staged.stage (fun () -> ignore (Formulations.broadcast_eb p)));
+        Test.make ~name:"Red. BC (LP loop)"
+          (Staged.stage (fun () -> ignore (Reduced_broadcast.run ~max_tries_per_round:1 p)));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second (if !fast then 0.5 else 1.5)) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (t :: _) -> rows := (name, t) :: !rows
+      | _ -> ())
+    results;
+  let rows = List.sort (fun (_, a) (_, b) -> compare a b) !rows in
+  Printf.printf "%-45s %15s\n" "method" "time per run";
+  List.iter (fun (name, ns) -> Printf.printf "%-45s %12.4f s\n" name (ns /. 1e9)) rows;
+  match rows with
+  | (fastest, _) :: _ ->
+    Printf.printf "shape check: MCPH is the fastest (paper: it solves no LP) — %s\n"
+      (if contains fastest "MCPH" then "OK" else "MISMATCH")
+  | [] -> Printf.printf "shape check: no measurements — MISMATCH\n"
+
+(* ------------------------------------------------------------------ *)
+(* A1 — ablation: one-sided vs two-sided cut separation.                *)
+
+let ablation_cuts () =
+  banner "A1 / ablation — cut separation: source-side only vs both sides";
+  Printf.printf "%6s | %14s %14s | %10s
+" "seed" "rounds(1-side)" "rounds(2-side)" "same rho";
+  let tot1 = ref 0 and tot2 = ref 0 in
+  for seed = 1 to 5 do
+    let gen () =
+      let rng = Random.State.make [| seed; 404 |] in
+      Tiers.generate rng Tiers.small_params ~n_targets:8
+    in
+    match
+      ( Formulations.multicast_lb_stats ~two_sided:false (gen ()),
+        Formulations.multicast_lb_stats ~two_sided:true (gen ()) )
+    with
+    | Some (s1, r1), Some (s2, r2) ->
+      tot1 := !tot1 + r1;
+      tot2 := !tot2 + r2;
+      Printf.printf "%6d | %14d %14d | %10s
+" seed r1 r2
+        (if abs_float (s1.Formulations.throughput -. s2.Formulations.throughput) < 1e-5
+         then "yes" else "NO")
+    | _ -> Printf.printf "%6d | infeasible
+" seed
+  done;
+  Printf.printf "total rounds: one-sided %d, two-sided %d
+" !tot1 !tot2;
+  Printf.printf "shape check: two-sided separation needs at most as many rounds — %s
+"
+    (if !tot2 <= !tot1 then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* A2 — ablation: one-port MCPH vs classical Steiner trees.             *)
+
+let ablation_mcph () =
+  banner "A2 / ablation — one-port MCPH vs classical Steiner trees (periods)";
+  Printf.printf "%6s | %10s %10s %10s %10s | %10s
+" "seed" "MCPH" "TM" "dijkstra" "KMB" "LB";
+  let wins = ref 0 and n = ref 0 in
+  for seed = 1 to 6 do
+    let rng = Random.State.make [| seed; 31 |] in
+    let p = Tiers.generate rng Tiers.small_params ~n_targets:8 in
+    let one_port tree_opt =
+      match tree_opt with
+      | None -> infinity
+      | Some t -> (
+        match Multicast_tree.of_out_tree p t with
+        | Ok mt -> Rat.to_float (Multicast_tree.period mt)
+        | Error _ -> infinity)
+    in
+    let mcph =
+      match Mcph.run p with
+      | Some r -> Rat.to_float r.Mcph.period
+      | None -> infinity
+    in
+    let tm = one_port (Steiner.minimum_cost_path_tree p) in
+    let pd = one_port (Steiner.pruned_dijkstra_tree p) in
+    let kmb = one_port (Steiner.kmb_tree p) in
+    let lb = period_of (Formulations.multicast_lb p) in
+    incr n;
+    if mcph <= tm +. 1e-9 && mcph <= pd +. 1e-9 && mcph <= kmb +. 1e-9 then incr wins;
+    Printf.printf "%6d | %10.1f %10.1f %10.1f %10.1f | %10.1f
+" seed mcph tm pd kmb lb
+  done;
+  Printf.printf
+    "shape check: the re-metricised MCPH is never beaten by a classical tree (%d/%d) — %s
+"
+    !wins !n
+    (if !wins >= !n - 1 then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* A3 — ablation: greedy peeling vs column-generation packing.          *)
+
+let ablation_packing () =
+  banner "A3 / ablation — arborescence packing: greedy peeling vs column generation";
+  Printf.printf "%6s | %10s %10s
+" "seed" "greedy" "col-gen";
+  let ok = ref true in
+  for seed = 1 to 6 do
+    let rng = Random.State.make [| seed; 56 |] in
+    let p = Tiers.generate rng Tiers.small_params ~n_targets:5 in
+    match Formulations.broadcast_eb p with
+    | None -> ()
+    | Some sol ->
+      let b = Platform.broadcast_of p in
+      let frac pk = pk.Arborescence_packing.achieved /. sol.Formulations.throughput in
+      let g =
+        frac
+          (Arborescence_packing.pack_greedy b ~capacities:sol.Formulations.edge_usage
+             ~rho:sol.Formulations.throughput)
+      in
+      let c =
+        frac
+          (Arborescence_packing.pack b ~capacities:sol.Formulations.edge_usage
+             ~rho:sol.Formulations.throughput)
+      in
+      if c < 0.999 then ok := false;
+      Printf.printf "%6d | %9.1f%% %9.1f%%
+" seed (100. *. g) (100. *. c)
+  done;
+  Printf.printf
+    "shape check: column generation always realizes the full Broadcast-EB value — %s
+"
+    (if !ok then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E11 — Theorem 5: prefix gadget.                                      *)
+
+let prefix () =
+  banner "E11 / Section 4.2 — pipelined parallel prefix (Theorem 5 gadget)";
+  let rng = Random.State.make [| 5 |] in
+  Printf.printf "%6s %6s %6s %6s | %16s %8s\n" "trial" "N" "K*" "B" "max occupation" "ok";
+  let all_ok = ref true in
+  for trial = 1 to 6 do
+    let cover =
+      Set_cover.random rng ~universe:(4 + Random.State.int rng 3) ~n_sets:4 ~density:0.4
+    in
+    let chosen = Option.get (Set_cover.minimum cover) in
+    let k_star = List.length chosen in
+    List.iter
+      (fun bound ->
+        if bound >= 1 && bound <= 4 then begin
+          let g = Prefix_gadget.build cover ~bound in
+          match Prefix_schedule.scheme_of_cover g ~chosen with
+          | Error _ -> all_ok := false
+          | Ok occ ->
+            let feasible = Prefix_schedule.is_feasible occ in
+            let expected = k_star <= bound in
+            if feasible <> expected then all_ok := false;
+            Printf.printf "%6d %6d %6d %6d | %16s %8s\n" trial cover.Set_cover.universe
+              k_star bound
+              (Rat.to_string (Prefix_schedule.max_occupation occ))
+              (if feasible = expected then "OK" else "FAIL")
+        end)
+      [ k_star - 1; k_star ]
+  done;
+  Printf.printf "shape check: throughput-1 scheme exists iff the cover fits the bound — %s\n"
+    (if !all_ok then "OK" else "MISMATCH")
+
+let () =
+  parse_args ();
+  let t0 = Unix.gettimeofday () in
+  if want "fig1" then fig1 ();
+  if want "table_complexity" then table_complexity ();
+  if want "fig4" then fig4 ();
+  if want "fig5" then fig5 ();
+  if want "fig11a" || want "fig11b" || want "fig11" then fig11_small ();
+  if want "fig11c" || want "fig11d" || want "fig11big" then fig11_big ();
+  if want "fig12" then fig12 ();
+  if want "speed" then speed ();
+  if want "ablation_cuts" || want "ablations" then ablation_cuts ();
+  if want "ablation_mcph" || want "ablations" then ablation_mcph ();
+  if want "ablation_packing" || want "ablations" then ablation_packing ();
+  if want "prefix" then prefix ();
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

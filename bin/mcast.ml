@@ -1,0 +1,328 @@
+(* mcast: command-line front end for the pipelined-multicast library.
+
+   Subcommands:
+     generate            emit a platform (Tiers or random) in the text format
+     bounds              Multicast-LB / Multicast-UB / Broadcast-EB + topology stats
+     heuristics          run the paper's method portfolio
+     tree                one-port MCPH tree (+ optional DOT dump)
+     simulate            schedule the MCPH tree and replay it
+     broadcast-schedule  Broadcast-EB -> arborescence packing -> replay
+     scatter-schedule    Multicast-UB -> weighted chains -> replay
+     prefix              Theorem 5 parallel-prefix gadget walk-through
+     gadget              set-cover gadget and the Theorem 1 correspondence *)
+
+open Cmdliner
+
+let read_platform = function
+  | None -> (
+    match Platform_io.of_string (In_channel.input_all In_channel.stdin) with
+    | Ok p -> p
+    | Error e -> failwith ("stdin: " ^ e))
+  | Some path -> (
+    match Platform_io.load path with
+    | Ok p -> p
+    | Error e -> failwith (path ^ ": " ^ e))
+
+let platform_arg =
+  let doc = "Platform description file (defaults to stdin)." in
+  Arg.(value & opt (some string) None & info [ "p"; "platform" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --- generate --- *)
+
+let generate kind seed n_targets out =
+  let rng = Random.State.make [| seed |] in
+  let p =
+    match kind with
+    | "tiers-small" -> Tiers.generate rng Tiers.small_params ~n_targets
+    | "tiers-big" -> Tiers.generate rng Tiers.big_params ~n_targets
+    | "random" ->
+      Generators.random_connected rng ~nodes:20 ~extra_edges:10 ~min_cost:1 ~max_cost:50
+        ~n_targets
+    | "fig1" -> Paper_platforms.fig1 ()
+    | "fig4" -> Paper_platforms.fig4 ()
+    | "two-relay" -> Paper_platforms.two_relay ()
+    | other -> failwith ("unknown platform kind: " ^ other)
+  in
+  let text = Platform_io.to_string p in
+  match out with
+  | None -> print_string text
+  | Some path ->
+    Platform_io.save path p;
+    Printf.printf "wrote %s (%s)\n" path (Platform.describe p)
+
+let generate_cmd =
+  let kind =
+    let doc = "Platform kind: tiers-small, tiers-big, random, fig1, fig4, two-relay." in
+    Arg.(value & opt string "tiers-small" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_targets =
+    let doc = "Number of multicast targets." in
+    Arg.(value & opt int 8 & info [ "targets" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Output file (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a platform instance")
+    Term.(const generate $ kind $ seed_arg $ n_targets $ out)
+
+(* --- bounds --- *)
+
+let bounds file =
+  let p = read_platform file in
+  Printf.printf "%s\n" (Platform.describe p);
+  Format.printf "topology: %a@." Topology_stats.pp (Topology_stats.compute p);
+  let b = Bounds.compute p in
+  let show name = function
+    | None -> Printf.printf "%-14s infeasible\n" name
+    | Some (s : Formulations.solution) ->
+      Printf.printf "%-14s period %10.4f  throughput %.6f\n" name s.Formulations.period
+        s.Formulations.throughput
+  in
+  show "Multicast-LB" b.Bounds.lb;
+  show "Multicast-UB" b.Bounds.ub;
+  show "Broadcast-EB" b.Bounds.broadcast;
+  match Bounds.check b ~n_targets:(List.length p.Platform.targets) with
+  | Ok () -> Printf.printf "bound chain: OK\n"
+  | Error e -> Printf.printf "bound chain: VIOLATED (%s)\n" e
+
+let bounds_cmd =
+  Cmd.v (Cmd.info "bounds" ~doc:"LP bounds of an instance") Term.(const bounds $ platform_arg)
+
+(* --- heuristics --- *)
+
+let heuristics file tries sources =
+  let p = read_platform file in
+  Printf.printf "%s\n" (Platform.describe p);
+  let report = Heuristics.run_all ?max_tries_per_round:tries ~max_sources:sources p in
+  Printf.printf "%-16s %12s %12s %9s\n" "method" "period" "throughput" "time(s)";
+  List.iter
+    (fun (e : Heuristics.entry) ->
+      Printf.printf "%-16s %12.4f %12.6f %9.2f\n" e.Heuristics.name e.Heuristics.period
+        e.Heuristics.throughput e.Heuristics.wall_time)
+    report.Heuristics.entries
+
+let heuristics_cmd =
+  let tries =
+    let doc = "Cap LP probes per improvement round (default: exhaustive)." in
+    Arg.(value & opt (some int) None & info [ "tries" ] ~docv:"K" ~doc)
+  in
+  let sources =
+    let doc = "Maximum secondary-source count for Multisource MC." in
+    Arg.(value & opt int 4 & info [ "max-sources" ] ~docv:"K" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "heuristics" ~doc:"Run the paper's heuristic portfolio")
+    Term.(const heuristics $ platform_arg $ tries $ sources)
+
+(* --- tree --- *)
+
+let tree file dot_out =
+  let p = read_platform file in
+  match Mcph.run p with
+  | None -> failwith "some target is unreachable"
+  | Some r ->
+    Printf.printf "MCPH tree: period %s, throughput %s\n"
+      (Rat.to_string r.Mcph.period)
+      (Rat.to_string (Rat.inv r.Mcph.period));
+    List.iter
+      (fun (u, v) ->
+        Printf.printf "  %s -> %s\n" (Digraph.label p.Platform.graph u)
+          (Digraph.label p.Platform.graph v))
+      (Multicast_tree.edges r.Mcph.tree);
+    match dot_out with
+    | None -> ()
+    | Some path ->
+      let dot =
+        Dot.digraph ~highlight_nodes:p.Platform.targets
+          ~highlight_edges:(Multicast_tree.edges r.Mcph.tree) p.Platform.graph
+      in
+      Dot.save path dot;
+      Printf.printf "wrote %s\n" path
+
+let tree_cmd =
+  let dot =
+    let doc = "Write a Graphviz DOT file with the tree highlighted." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v (Cmd.info "tree" ~doc:"One-port MCPH multicast tree")
+    Term.(const tree $ platform_arg $ dot)
+
+(* --- simulate --- *)
+
+let simulate file periods =
+  let p = read_platform file in
+  match Mcph.run p with
+  | None -> failwith "some target is unreachable"
+  | Some r ->
+    let set = Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ] in
+    let sched = Schedule.of_tree_set set in
+    (match Schedule.check sched with
+    | Ok () -> ()
+    | Error e -> failwith ("schedule check failed: " ^ e));
+    Printf.printf "schedule: period %s, %d messages/period, %d transfers\n"
+      (Rat.to_string sched.Schedule.period)
+      sched.Schedule.messages_per_period
+      (List.length sched.Schedule.transfers);
+    (match Event_sim.run sched ~periods with
+    | Error e -> failwith ("simulation failed: " ^ e)
+    | Ok stats ->
+      Printf.printf "simulated %d periods: throughput %.6f (predicted %.6f), max latency %.1f\n"
+        stats.Event_sim.periods stats.Event_sim.measured_throughput
+        (Rat.to_float (Rat.inv r.Mcph.period))
+        stats.Event_sim.max_latency)
+
+let simulate_cmd =
+  let periods =
+    let doc = "Number of periods to replay." in
+    Arg.(value & opt int 12 & info [ "periods" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Schedule the MCPH tree and replay it")
+    Term.(const simulate $ platform_arg $ periods)
+
+(* --- broadcast-schedule --- *)
+
+let broadcast_schedule file periods =
+  let p = read_platform file in
+  match Formulations.broadcast_eb p with
+  | None -> failwith "broadcast infeasible (disconnected platform)"
+  | Some sol -> (
+    Printf.printf "Broadcast-EB: period %.4f (throughput %.6f)\n" sol.Formulations.period
+      sol.Formulations.throughput;
+    match Arborescence_packing.schedule_of_broadcast p sol with
+    | Error e -> failwith e
+    | Ok (sched, thr) ->
+      Printf.printf "packed into %d arborescences, schedulable throughput %s\n"
+        (Array.length sched.Schedule.trees)
+        (Rat.to_string thr);
+      (match Schedule.check sched with
+      | Ok () -> ()
+      | Error e -> failwith ("schedule check failed: " ^ e));
+      (match Event_sim.run sched ~periods:(max periods (Schedule.init_periods sched + 3)) with
+      | Error e -> failwith ("simulation failed: " ^ e)
+      | Ok stats ->
+        Printf.printf "simulated: measured throughput %.6f\n"
+          stats.Event_sim.measured_throughput))
+
+let broadcast_schedule_cmd =
+  let periods =
+    Arg.(value & opt int 10 & info [ "periods" ] ~docv:"N" ~doc:"Simulation periods.")
+  in
+  Cmd.v
+    (Cmd.info "broadcast-schedule"
+       ~doc:"Pack Broadcast-EB into arborescences, schedule and simulate")
+    Term.(const broadcast_schedule $ platform_arg $ periods)
+
+(* --- scatter-schedule --- *)
+
+let scatter_schedule file periods =
+  let p = read_platform file in
+  match Formulations.multicast_ub p with
+  | None -> failwith "some target is unreachable"
+  | Some sol -> (
+    Printf.printf "Multicast-UB (scatter): period %.4f per multicast\n"
+      sol.Formulations.period;
+    match Scatter_schedule.of_solution p sol with
+    | Error e -> failwith e
+    | Ok sched ->
+      Printf.printf "schedule: %d chains, message rate %s per time unit\n"
+        (Array.length sched.Schedule.trees)
+        (Rat.to_string (Scatter_schedule.message_rate sched));
+      (match Schedule.check sched with
+      | Ok () -> ()
+      | Error e -> failwith ("schedule check failed: " ^ e));
+      (match Event_sim.run sched ~periods:(max periods (Schedule.init_periods sched + 3)) with
+      | Error e -> failwith ("simulation failed: " ^ e)
+      | Ok stats ->
+        Printf.printf "simulated: measured message rate %.6f\n"
+          stats.Event_sim.measured_throughput))
+
+let scatter_schedule_cmd =
+  let periods =
+    Arg.(value & opt int 10 & info [ "periods" ] ~docv:"N" ~doc:"Simulation periods.")
+  in
+  Cmd.v
+    (Cmd.info "scatter-schedule"
+       ~doc:"Build and simulate the schedule realizing Multicast-UB")
+    Term.(const scatter_schedule $ platform_arg $ periods)
+
+(* --- prefix --- *)
+
+let prefix_cmd_run seed universe n_sets bound =
+  let rng = Random.State.make [| seed |] in
+  let cover = Set_cover.random rng ~universe ~n_sets ~density:0.4 in
+  Format.printf "instance: %a@." Set_cover.pp cover;
+  match Set_cover.minimum cover with
+  | None -> print_endline "instance not coverable"
+  | Some chosen ->
+    Printf.printf "minimum cover: %d subsets; bound B = %d\n" (List.length chosen) bound;
+    let gadget = Prefix_gadget.build cover ~bound in
+    (match Prefix_schedule.scheme_of_cover gadget ~chosen with
+    | Error e -> print_endline ("scheme rejected: " ^ e)
+    | Ok occ ->
+      Printf.printf
+        "allocation scheme max occupation: %s -> throughput-1 feasible: %b\n"
+        (Rat.to_string (Prefix_schedule.max_occupation occ))
+        (Prefix_schedule.is_feasible occ))
+
+let prefix_cmd =
+  let universe = Arg.(value & opt int 5 & info [ "universe" ] ~docv:"N" ~doc:"Universe size.") in
+  let n_sets = Arg.(value & opt int 4 & info [ "sets" ] ~docv:"K" ~doc:"Number of subsets.") in
+  let bound = Arg.(value & opt int 2 & info [ "bound" ] ~docv:"B" ~doc:"Cover size bound.") in
+  Cmd.v
+    (Cmd.info "prefix" ~doc:"Theorem 5 parallel-prefix gadget walk-through")
+    Term.(const prefix_cmd_run $ seed_arg $ universe $ n_sets $ bound)
+
+(* --- gadget --- *)
+
+let gadget seed universe n_sets bound =
+  let rng = Random.State.make [| seed |] in
+  let cover = Set_cover.random rng ~universe ~n_sets ~density:0.35 in
+  Format.printf "instance: %a@." Set_cover.pp cover;
+  let k_star =
+    match Set_cover.minimum cover with
+    | Some m -> List.length m
+    | None -> -1
+  in
+  let thr, _, ok = Complexity.verify_gadget_correspondence cover ~bound in
+  Printf.printf "minimum cover: %d; B = %d\n" k_star bound;
+  Printf.printf "best single-tree throughput on the gadget: %.4f (B/K* = %.4f) — %s\n" thr
+    (float_of_int bound /. float_of_int k_star)
+    (if ok then "Theorem 1 correspondence holds" else "MISMATCH");
+  let p = Complexity.gadget cover ~bound in
+  match Formulations.multicast_lb p with
+  | None -> ()
+  | Some s ->
+    Printf.printf "Multicast-LB throughput (fractional cover bound): %.4f\n"
+      s.Formulations.throughput
+
+let gadget_cmd =
+  let universe = Arg.(value & opt int 6 & info [ "universe" ] ~docv:"N" ~doc:"Universe size.") in
+  let n_sets = Arg.(value & opt int 4 & info [ "sets" ] ~docv:"K" ~doc:"Number of subsets.") in
+  let bound = Arg.(value & opt int 2 & info [ "bound" ] ~docv:"B" ~doc:"Cover size bound.") in
+  Cmd.v
+    (Cmd.info "gadget" ~doc:"Set-cover gadget and the NP-hardness correspondence")
+    Term.(const gadget $ seed_arg $ universe $ n_sets $ bound)
+
+let main_cmd =
+  let doc = "steady-state pipelined multicast on heterogeneous platforms" in
+  Cmd.group (Cmd.info "mcast" ~version:"1.0.0" ~doc)
+    [
+      generate_cmd;
+      bounds_cmd;
+      heuristics_cmd;
+      tree_cmd;
+      simulate_cmd;
+      broadcast_schedule_cmd;
+      scatter_schedule_cmd;
+      prefix_cmd;
+      gadget_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,40 @@
+(* Makespan vs. steady-state throughput: why the paper changes objective.
+
+   The traditional multicast literature minimizes the makespan of one
+   message; the paper argues that for a series of multicasts the right
+   metric is the steady-state period. This example finds, on small random
+   platforms, the tree that is optimal for each objective and shows they
+   genuinely differ: the makespan-optimal tree can be a poor pipeline and
+   the period-optimal tree can deliver its first message late.
+
+   Run with: dune exec examples/makespan_vs_throughput.exe [seed] *)
+
+let pf = Printf.printf
+
+let () =
+  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 3 in
+  let rng = Random.State.make [| seed |] in
+  pf "%6s | %22s | %22s | %s\n" "trial" "period-optimal tree" "makespan-optimal tree" "different?";
+  pf "%6s | %10s %11s | %10s %11s |\n" "" "period" "makespan" "period" "makespan";
+  let differ = ref 0 in
+  for trial = 1 to 8 do
+    let p =
+      Generators.random_connected rng ~nodes:7 ~extra_edges:4 ~min_cost:1 ~max_cost:12
+        ~n_targets:3
+    in
+    match (Complexity.best_single_tree p, Makespan.best_makespan_tree p) with
+    | Some per_tree, Some ms_tree ->
+      let fp = Rat.to_float in
+      let pp_, pm = (Multicast_tree.period per_tree, Makespan.one_port_makespan per_tree) in
+      let mp, mm = (Multicast_tree.period ms_tree, Makespan.one_port_makespan ms_tree) in
+      let d = not (Rat.equal pp_ mp) || not (Rat.equal pm mm) in
+      if d then incr differ;
+      pf "%6d | %10.2f %11.2f | %10.2f %11.2f | %s\n" trial (fp pp_) (fp pm) (fp mp)
+        (fp mm)
+        (if d then "yes" else "no")
+    | _ -> pf "%6d | unreachable targets\n" trial
+  done;
+  pf "\n%d/8 instances pick different trees for the two objectives.\n" !differ;
+  pf "For a long series of messages the pipeline rate (1/period) is what\n";
+  pf "matters; the paper's Section 3 example pushes this further, where no\n";
+  pf "single tree of any kind achieves the optimal steady-state rate.\n"

@@ -1,0 +1,52 @@
+(* Pipelined parallel prefix on the Theorem 5 gadget.
+
+   Builds the Fig. 3 platform from a set-cover instance and walks through
+   the §4.2 story: with a small cover the proof's allocation scheme sustains
+   one prefix operation per time unit; pick too many subsets and the source
+   port saturates; drop a subset and some processor never gets x0.
+
+   Run with: dune exec examples/prefix_pipeline.exe *)
+
+let pf = Printf.printf
+
+let () =
+  (* X = {1..4}; C1 = {1,2}, C2 = {2,3}, C3 = {3,4}, C4 = {1,4}; B = 2. *)
+  let cover = Set_cover.make ~universe:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ] in
+  let gadget = Prefix_gadget.build cover ~bound:2 in
+  let problem = gadget.Prefix_gadget.problem in
+  let graph = problem.Prefix_problem.graph in
+  pf "Gadget platform: %d nodes, %d edges; prefix processors: %s\n\n"
+    (Digraph.n_nodes graph) (Digraph.n_edges graph)
+    (String.concat ", "
+       (List.map (Digraph.label graph) (Array.to_list problem.Prefix_problem.members)));
+
+  let show name chosen =
+    match Prefix_schedule.scheme_of_cover gadget ~chosen with
+    | Error e -> pf "%-24s -> rejected: %s\n" name e
+    | Ok occ ->
+      pf "%-24s -> max occupation %-6s feasible at throughput 1: %b\n" name
+        (Rat.to_string (Prefix_schedule.max_occupation occ))
+        (Prefix_schedule.is_feasible occ)
+  in
+  show "cover {C1, C3} (size 2)" [ 0; 2 ];
+  show "cover {C2, C4} (size 2)" [ 1; 3 ];
+  show "cover {C1, C2, C3}" [ 0; 1; 2 ];
+  show "non-cover {C1, C2}" [ 0; 1 ];
+
+  pf "\nPer-node occupations of the optimal scheme:\n";
+  (match Prefix_schedule.scheme_of_cover gadget ~chosen:[ 0; 2 ] with
+  | Error e -> failwith e
+  | Ok occ ->
+    let dump title rows =
+      pf "  %s:\n" title;
+      List.iter
+        (fun (node, x) -> pf "    %-6s %s\n" (Digraph.label graph node) (Rat.to_string x))
+        (List.sort compare rows)
+    in
+    dump "send" occ.Prefix_schedule.send;
+    dump "recv" occ.Prefix_schedule.recv;
+    dump "compute" occ.Prefix_schedule.compute);
+
+  pf "\nTheorem 5's dichotomy on this instance: a single prefix allocation\n";
+  pf "scheme sustains throughput 1 exactly when the chosen subsets form a\n";
+  pf "cover of size at most B = %d.\n" gadget.Prefix_gadget.bound

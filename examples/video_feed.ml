@@ -1,0 +1,52 @@
+(* Live feed distribution: throughput vs. subscriber density.
+
+   A source streams a feed to a growing set of subscriber hosts on one
+   fixed Tiers platform. The experiment sweeps the target density and
+   prints how each strategy's steady-state period evolves — showing the
+   paper's §7 observation that plain whole-platform broadcast becomes
+   competitive once enough LANs contain a subscriber.
+
+   Run with: dune exec examples/video_feed.exe [seed] *)
+
+let pf = Printf.printf
+
+let () =
+  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 7 in
+  let rng = Random.State.make [| seed |] in
+  (* Fix one topology; re-draw only the subscriber set. *)
+  let base = Tiers.generate rng Tiers.small_params ~n_targets:1 in
+  let hosts = Platform.lan_nodes base in
+  let n_hosts = List.length hosts in
+  pf "Feed platform (seed %d): %s, %d subscriber candidates\n\n" seed
+    (Platform.describe base) n_hosts;
+  pf "%8s %8s | %10s %10s %10s %10s\n" "density" "subs" "scatter" "broadcast" "MCPH" "lower bd";
+  let broadcast_period =
+    (* Broadcast to the whole platform does not depend on the target set. *)
+    match Formulations.broadcast_eb base with
+    | Some s -> s.Formulations.period
+    | None -> infinity
+  in
+  List.iter
+    (fun k ->
+      let subs = Generators.sample_without_replacement rng k hosts in
+      let p = Platform.with_targets base subs in
+      let period = function
+        | None -> infinity
+        | Some (s : Formulations.solution) -> s.Formulations.period
+      in
+      let scatter = period (Formulations.multicast_ub p) in
+      let lb = period (Formulations.multicast_lb p) in
+      let mcph =
+        match Mcph.run p with
+        | Some r -> Rat.to_float r.Mcph.period
+        | None -> infinity
+      in
+      pf "%8.2f %8d | %10.1f %10.1f %10.1f %10.1f\n%!"
+        (float_of_int k /. float_of_int n_hosts)
+        k scatter broadcast_period mcph lb)
+    [ 1; 3; 6; 9; 12; 15; n_hosts ];
+  pf "\nReading: scatter degrades linearly with subscribers; the broadcast\n";
+  pf "period is flat (it always serves everyone); MCPH tracks the lower\n";
+  pf "bound until the tree saturates a port. Where the MCPH column crosses\n";
+  pf "the broadcast column is the density at which serving the whole\n";
+  pf "platform becomes the better strategy — the paper's §7 observation.\n"

@@ -1,0 +1,62 @@
+type result = {
+  period : float;
+  throughput : float;
+  kept : int list;
+  solution : Formulations.solution;
+}
+
+let period_of = function
+  | None -> infinity
+  | Some (s : Formulations.solution) -> s.Formulations.period
+
+(* Broadcast-EB on the sub-platform induced by [kept]; [None] if the
+   restriction disconnects a target (or the source from anyone). *)
+let broadcast_on (p : Platform.t) kept =
+  let sub = Platform.restrict p ~keep:(fun v -> List.mem v kept) in
+  Formulations.broadcast_eb sub
+
+let run ?max_tries_per_round (p : Platform.t) =
+  match Formulations.multicast_lb p with
+  | None -> None
+  | Some lb ->
+    let initial_kept = p.Platform.source :: p.Platform.targets in
+    let rec improve kept best =
+      let outside =
+        List.filter (fun v -> not (List.mem v kept)) (Platform.active_nodes p)
+      in
+      (* Largest contribution to target flow first (Fig. 7 line 4). *)
+      let candidates =
+        List.sort
+          (fun a b -> compare lb.Formulations.node_inflow.(b) lb.Formulations.node_inflow.(a))
+          outside
+      in
+      let candidates =
+        match max_tries_per_round with
+        | None -> candidates
+        | Some k -> List.filteri (fun i _ -> i < k) candidates
+      in
+      let rec try_candidates = function
+        | [] -> (kept, best)
+        | m :: rest ->
+          let kept' = m :: kept in
+          let sol' = broadcast_on p kept' in
+          if period_of sol' <= period_of best then improve kept' sol'
+          else try_candidates rest
+      in
+      try_candidates candidates
+    in
+    let kept, best = improve initial_kept (broadcast_on p initial_kept) in
+    (match best with
+    | None -> None
+    | Some solution ->
+      Some
+        {
+          period = solution.Formulations.period;
+          throughput = solution.Formulations.throughput;
+          kept = List.sort compare kept;
+          solution;
+        })
+
+let to_schedule (p : Platform.t) r =
+  let sub = Platform.restrict p ~keep:(fun v -> List.mem v r.kept) in
+  Arborescence_packing.schedule_of_broadcast sub r.solution

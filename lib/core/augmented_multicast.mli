@@ -1,0 +1,24 @@
+(** The AUGMENTED MULTICAST heuristic (§5.2.2, Fig. 7).
+
+    Start from the platform restricted to the source and the targets and
+    grow it: repeatedly try to add the outside node that carries the most
+    flow towards the targets in the full-platform Multicast-LB solution.
+    Keep the addition when broadcasting on the grown node set is at least as
+    fast. Because the final object is a broadcast on a sub-platform
+    containing all targets, it is schedulable. *)
+
+type result = {
+  period : float;
+  throughput : float;
+  kept : int list; (** node set of the final broadcast platform *)
+  solution : Formulations.solution;
+}
+
+(** [run ?max_tries_per_round p]; [None] when the multicast itself is
+    infeasible. *)
+val run : ?max_tries_per_round:int -> Platform.t -> result option
+
+(** [to_schedule p r] packs the final broadcast-on-subset solution into
+    arborescences spanning the grown node set and colours them into a
+    periodic schedule. *)
+val to_schedule : Platform.t -> result -> (Schedule.t * Rat.t, string) Result.t

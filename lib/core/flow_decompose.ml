@@ -1,0 +1,104 @@
+type path = { weight : float; nodes : int list }
+
+let tol = 1e-6
+
+(* Mutable flow map keyed by edge. *)
+let to_table flows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ((u, v), w) ->
+      if w > 0.0 then
+        Hashtbl.replace tbl (u, v) (w +. Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v))))
+    flows;
+  tbl
+
+let out_edges tbl u =
+  Hashtbl.fold (fun (a, b) w acc -> if a = u && w > tol then (b, w) :: acc else acc) tbl []
+
+let subtract tbl path amount =
+  List.iter
+    (fun e ->
+      let w = Hashtbl.find tbl e -. amount in
+      if w <= tol then Hashtbl.remove tbl e else Hashtbl.replace tbl e w)
+    path
+
+(* Walk greedily from [origin]; stopping at [dest] yields a path, revisiting
+   a node yields a cycle to cancel. Dead ends (tolerance residue) are
+   trimmed by removing their last edge. *)
+let rec extract tbl ~origin ~dest acc =
+  match out_edges tbl origin with
+  | [] -> acc
+  | _ ->
+    let rec walk v visited nodes_rev =
+      if v = dest then `Path (List.rev nodes_rev)
+      else
+        match out_edges tbl v with
+        | [] -> `Dead_end (List.rev nodes_rev)
+        | (w, _) :: _ ->
+          if List.mem w visited then `Cycle (w, List.rev (w :: nodes_rev))
+          else walk w (w :: visited) (w :: nodes_rev)
+    in
+    (match walk origin [ origin ] [ origin ] with
+    | `Path nodes ->
+      let edges = Paths.path_edges nodes in
+      let amount = List.fold_left (fun acc e -> min acc (Hashtbl.find tbl e)) infinity edges in
+      subtract tbl edges amount;
+      extract tbl ~origin ~dest ({ weight = amount; nodes } :: acc)
+    | `Cycle (entry, nodes) ->
+      (* Keep only the cycle part: from the first occurrence of [entry]. *)
+      let rec drop = function
+        | [] -> []
+        | v :: rest -> if v = entry then v :: rest else drop rest
+      in
+      let cycle_edges = Paths.path_edges (drop nodes) in
+      let amount =
+        List.fold_left (fun acc e -> min acc (Hashtbl.find tbl e)) infinity cycle_edges
+      in
+      subtract tbl cycle_edges amount;
+      extract tbl ~origin ~dest acc
+    | `Dead_end nodes ->
+      (match List.rev (Paths.path_edges nodes) with
+      | [] -> acc (* origin itself has no usable out edge left *)
+      | last :: _ ->
+        Hashtbl.remove tbl last;
+        extract tbl ~origin ~dest acc))
+
+let decompose ~origin ~dest flows =
+  let tbl = to_table flows in
+  List.rev (extract tbl ~origin ~dest [])
+
+let decompose_to ~dest flows =
+  (* Positive-divergence nodes are the flow's sources. *)
+  let div = Hashtbl.create 16 in
+  let bump v x = Hashtbl.replace div v (x +. Option.value ~default:0.0 (Hashtbl.find_opt div v)) in
+  List.iter
+    (fun ((u, v), w) ->
+      bump u w;
+      bump v (-.w))
+    flows;
+  let sources =
+    Hashtbl.fold (fun v d acc -> if d > tol && v <> dest then v :: acc else acc) div []
+  in
+  let tbl = to_table flows in
+  List.concat_map
+    (fun origin -> List.rev (extract tbl ~origin ~dest []))
+    (List.sort compare sources)
+
+let total_weight paths = List.fold_left (fun acc p -> acc +. p.weight) 0.0 paths
+
+let check ~origin ~dest paths =
+  let rec verify = function
+    | [] -> Ok ()
+    | p :: rest -> (
+      match p.nodes with
+      | [] -> Error "empty path"
+      | first :: _ ->
+        let last = List.nth p.nodes (List.length p.nodes - 1) in
+        if first <> origin then Error "path does not start at the origin"
+        else if last <> dest then Error "path does not end at the destination"
+        else if List.length (List.sort_uniq compare p.nodes) <> List.length p.nodes then
+          Error "path revisits a node"
+        else if p.weight <= 0.0 then Error "non-positive path weight"
+        else verify rest)
+  in
+  verify paths

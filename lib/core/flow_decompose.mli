@@ -1,0 +1,27 @@
+(** Decomposition of LP edge flows into weighted paths.
+
+    The scatter-style LPs return, per commodity, a fractional flow on the
+    platform edges. Schedule reconstruction needs weighted origin→dest
+    paths instead: circulations (flow cycles) are cancelled first — they
+    carry no value and only waste port time — then the acyclic remainder is
+    peeled into at most [|E|] simple paths. *)
+
+type path = { weight : float; nodes : int list (** origin first, dest last *) }
+
+(** [decompose ~origin ~dest flows] turns per-edge flow values into weighted
+    paths. The flow need not be perfectly conserved (LP tolerance); leftover
+    below the tolerance is dropped. *)
+val decompose : origin:int -> dest:int -> ((int * int) * float) list -> path list
+
+(** [decompose_to ~dest flows] decomposes a {e multi-source} flow (the
+    aggregated MulticastMultiSource commodities): sources are inferred from
+    the flow's positive divergence; each returned path starts at one of
+    them. *)
+val decompose_to : dest:int -> ((int * int) * float) list -> path list
+
+(** Total weight carried by a path list. *)
+val total_weight : path list -> float
+
+(** [check ~origin ~dest paths] verifies each path runs from [origin] to
+    [dest] along distinct nodes. *)
+val check : origin:int -> dest:int -> path list -> (unit, string) Result.t

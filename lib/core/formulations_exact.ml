@@ -1,0 +1,111 @@
+(* Throughput form, exactly as in Formulations but with every constraint
+   materialized and rational coefficients. Variable layout:
+     0                  rho
+     1 .. ne            n_e (Max mode only)
+     then x_{c,e}       per commodity and allowed edge. *)
+
+type mode = Sum | Max
+
+let solve (p : Platform.t) mode =
+  let g = p.Platform.graph in
+  let source = p.Platform.source in
+  let targets = p.Platform.targets in
+  if not (Traversal.reaches_all g source targets) then None
+  else begin
+    let edges = Array.of_list (Digraph.edges g) in
+    let ne = Array.length edges in
+    let nt = List.length targets in
+    let targets_arr = Array.of_list targets in
+    let rho = 0 in
+    let n_base = 1 in
+    let have_n = mode = Max in
+    let x_base = if have_n then 1 + ne else 1 in
+    (* x var index or -1 *)
+    let x = Array.make_matrix nt ne (-1) in
+    let next = ref x_base in
+    for c = 0 to nt - 1 do
+      for e = 0 to ne - 1 do
+        let { Digraph.src; dst; _ } = edges.(e) in
+        if src <> targets_arr.(c) && dst <> source then begin
+          x.(c).(e) <- !next;
+          incr next
+        end
+      done
+    done;
+    let n_vars = !next in
+    let rows = ref [] in
+    let add expr cmp rhs = rows := (expr, cmp, rhs) :: !rows in
+    let out_ids = Array.make (Digraph.n_nodes g) [] in
+    let in_ids = Array.make (Digraph.n_nodes g) [] in
+    Array.iteri
+      (fun e ({ Digraph.src; dst; _ } : Digraph.edge) ->
+        out_ids.(src) <- e :: out_ids.(src);
+        in_ids.(dst) <- e :: in_ids.(dst))
+      edges;
+    (* value rows *)
+    for c = 0 to nt - 1 do
+      let expr =
+        (Rat.minus_one, rho)
+        :: List.filter_map
+             (fun e -> if x.(c).(e) >= 0 then Some (Rat.one, x.(c).(e)) else None)
+             in_ids.(targets_arr.(c))
+      in
+      add expr Lp_model.Eq Rat.zero
+    done;
+    (* conservation *)
+    for c = 0 to nt - 1 do
+      for j = 0 to Digraph.n_nodes g - 1 do
+        if j <> source && j <> targets_arr.(c) then begin
+          let outs =
+            List.filter_map
+              (fun e -> if x.(c).(e) >= 0 then Some (Rat.one, x.(c).(e)) else None)
+              out_ids.(j)
+          in
+          let ins =
+            List.filter_map
+              (fun e -> if x.(c).(e) >= 0 then Some (Rat.minus_one, x.(c).(e)) else None)
+              in_ids.(j)
+          in
+          if outs <> [] || ins <> [] then add (outs @ ins) Lp_model.Eq Rat.zero
+        end
+      done
+    done;
+    (* n >= x rows (Max) *)
+    if have_n then
+      for c = 0 to nt - 1 do
+        for e = 0 to ne - 1 do
+          if x.(c).(e) >= 0 then
+            add [ (Rat.one, x.(c).(e)); (Rat.minus_one, n_base + e) ] Lp_model.Le Rat.zero
+        done
+      done;
+    (* port rows *)
+    let port ids =
+      match mode with
+      | Max -> List.map (fun e -> (edges.(e).Digraph.cost, n_base + e)) ids
+      | Sum ->
+        List.concat_map
+          (fun e ->
+            List.filter_map
+              (fun c ->
+                if x.(c).(e) >= 0 then Some (edges.(e).Digraph.cost, x.(c).(e)) else None)
+              (List.init nt Fun.id))
+          ids
+    in
+    for j = 0 to Digraph.n_nodes g - 1 do
+      let o = port out_ids.(j) in
+      if o <> [] then add o Lp_model.Le Rat.one;
+      let i = port in_ids.(j) in
+      if i <> [] then add i Lp_model.Le Rat.one
+    done;
+    match
+      Simplex_exact.solve ~n_vars ~maximize:true ~objective:[ (Rat.one, rho) ] !rows
+    with
+    | Simplex_exact.Optimal sol ->
+      let v = sol.Simplex_exact.values.(rho) in
+      if Rat.(v > zero) then Some v else None
+    | Simplex_exact.Infeasible | Simplex_exact.Unbounded -> None
+  end
+
+let multicast_lb p = solve p Max
+let multicast_ub p = solve p Sum
+let broadcast_eb p = solve (Platform.broadcast_of p) Max

@@ -1,0 +1,18 @@
+(** Exact-arithmetic reference implementations of the §5 linear programs.
+
+    These build the {e full} per-commodity formulations — including every
+    [n_jk >= x_i^jk] row of Multicast-LB — and solve them with the exact
+    rational simplex. They are exponentially more expensive than the
+    production solvers in {!Formulations} (cut generation, floats) and are
+    meant for small instances: cross-checking in the test suite, and exact
+    optimal periods on the paper's hand-built examples. *)
+
+(** [multicast_lb p] — the full Multicast-LB optimum as an exact rational
+    throughput; [None] when a target is unreachable. *)
+val multicast_lb : Platform.t -> Rat.t option
+
+(** [multicast_ub p] — the Multicast-UB (scatter) optimum. *)
+val multicast_ub : Platform.t -> Rat.t option
+
+(** [broadcast_eb p] — Broadcast-EB on the full platform. *)
+val broadcast_eb : Platform.t -> Rat.t option

@@ -1,0 +1,53 @@
+type entry = {
+  name : string;
+  period : float;
+  throughput : float;
+  wall_time : float;
+}
+
+type report = {
+  platform : Platform.t;
+  entries : entry list;
+}
+
+let method_names =
+  [ "scatter"; "lower bound"; "broadcast"; "MCPH"; "Augm. MC"; "Red. BC"; "Multisource MC" ]
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let period = f () in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  let period = if period <= 0.0 then infinity else period in
+  { name; period; throughput = 1.0 /. period; wall_time }
+
+let run_all ?max_tries_per_round ?max_sources p =
+  let lp_period = function
+    | None -> infinity
+    | Some (s : Formulations.solution) -> s.Formulations.period
+  in
+  let entries =
+    [
+      timed "scatter" (fun () -> lp_period (Formulations.multicast_ub p));
+      timed "lower bound" (fun () -> lp_period (Formulations.multicast_lb p));
+      timed "broadcast" (fun () -> lp_period (Formulations.broadcast_eb p));
+      timed "MCPH" (fun () ->
+          match Mcph.run p with
+          | None -> infinity
+          | Some r -> Rat.to_float r.Mcph.period);
+      timed "Augm. MC" (fun () ->
+          match Augmented_multicast.run ?max_tries_per_round p with
+          | None -> infinity
+          | Some r -> r.Augmented_multicast.period);
+      timed "Red. BC" (fun () ->
+          match Reduced_broadcast.run ?max_tries_per_round p with
+          | None -> infinity
+          | Some r -> r.Reduced_broadcast.period);
+      timed "Multisource MC" (fun () ->
+          match Multisource.run ?max_sources ?max_tries_per_round p with
+          | None -> infinity
+          | Some r -> r.Multisource.period);
+    ]
+  in
+  { platform = p; entries }
+
+let entry r name = List.find (fun e -> e.name = name) r.entries

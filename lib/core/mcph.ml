@@ -1,0 +1,73 @@
+type result = {
+  tree : Multicast_tree.t;
+  period : Rat.t;
+  throughput : Rat.t;
+}
+
+(* Direct transcription of Fig. 9. The mutable residual costs c' live in a
+   hash table keyed by edge; the tree is a growing set of (parent, child)
+   edges rooted at the source. *)
+let run (p : Platform.t) =
+  let g = p.Platform.graph in
+  let residual = Hashtbl.create 64 in
+  Digraph.iter_edges (fun e -> Hashtbl.replace residual (e.Digraph.src, e.Digraph.dst) e.Digraph.cost) g;
+  let cost (e : Digraph.edge) = Hashtbl.find residual (e.Digraph.src, e.Digraph.dst) in
+  let in_tree = Array.make (Platform.n_nodes p) false in
+  in_tree.(p.Platform.source) <- true;
+  let tree_edges = ref [] in
+  let commit_path path_nodes =
+    let edges = Paths.path_edges path_nodes in
+    List.iter
+      (fun (u, v) ->
+        if not in_tree.(v) then begin
+          tree_edges := (u, v) :: !tree_edges;
+          in_tree.(v) <- true
+        end)
+      edges;
+    (* Fig. 9 lines 11-13: out-edges of each path node inherit the cost of
+       the committed edge, which then becomes free. *)
+    List.iter
+      (fun (u, v) ->
+        let committed = Hashtbl.find residual (u, v) in
+        if not (Rat.is_zero committed) then begin
+          List.iter
+            (fun (e : Digraph.edge) ->
+              if e.Digraph.dst <> v then
+                Hashtbl.replace residual
+                  (u, e.Digraph.dst)
+                  (Rat.add (Hashtbl.find residual (u, e.Digraph.dst)) committed))
+            (Digraph.out_edges g u);
+          Hashtbl.replace residual (u, v) Rat.zero
+        end)
+      edges
+  in
+  let rec grow remaining =
+    match remaining with
+    | [] ->
+      let tree = Multicast_tree.of_edges_exn p !tree_edges in
+      let period = Multicast_tree.period tree in
+      Some { tree; period; throughput = Rat.inv period }
+    | _ ->
+      let tree_nodes =
+        List.filter (fun v -> in_tree.(v)) (List.init (Platform.n_nodes p) Fun.id)
+      in
+      (* Bottleneck path from the current tree under residual costs. *)
+      let r = Paths.minimax g ~cost ~sources:tree_nodes in
+      let best =
+        List.fold_left
+          (fun acc t ->
+            match r.Paths.dist.(t) with
+            | None -> acc
+            | Some d -> (
+              match acc with
+              | Some (_, bd) when Rat.(bd <= d) -> acc
+              | _ -> Some (t, d)))
+          None remaining
+      in
+      (match best with
+      | None -> None
+      | Some (t, _) ->
+        commit_path (Option.get (Paths.extract_path r t));
+        grow (List.filter (fun x -> x <> t) remaining))
+  in
+  grow (List.filter (fun t -> not in_tree.(t)) p.Platform.targets)

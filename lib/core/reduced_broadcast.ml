@@ -1,0 +1,55 @@
+type result = {
+  period : float;
+  throughput : float;
+  kept : int list;
+  solution : Formulations.solution;
+}
+
+let run ?max_tries_per_round (p : Platform.t) =
+  match Formulations.broadcast_eb p with
+  | None -> None
+  | Some initial ->
+    let rec improve cur (best : Formulations.solution) =
+      (* Candidates: removable nodes (neither source nor target), least
+         contribution to target inflow first. *)
+      let candidates =
+        List.sort
+          (fun a b -> compare best.Formulations.node_inflow.(a) best.Formulations.node_inflow.(b))
+          (Platform.intermediates cur)
+      in
+      let candidates =
+        match max_tries_per_round with
+        | None -> candidates
+        | Some k -> List.filteri (fun i _ -> i < k) candidates
+      in
+      let rec try_candidates = function
+        | [] -> (cur, best)
+        | m :: rest -> (
+          let reduced = Platform.remove_node cur m in
+          match Formulations.broadcast_eb reduced with
+          | Some sol when sol.Formulations.period <= best.Formulations.period ->
+            improve reduced sol
+          | Some _ | None -> try_candidates rest)
+      in
+      try_candidates candidates
+    in
+    let final_platform, solution = improve p initial in
+    let kept =
+      List.filter
+        (fun v ->
+          v = final_platform.Platform.source
+          || Digraph.out_degree final_platform.Platform.graph v > 0
+          || Digraph.in_degree final_platform.Platform.graph v > 0)
+        (List.init (Platform.n_nodes final_platform) Fun.id)
+    in
+    Some
+      {
+        period = solution.Formulations.period;
+        throughput = solution.Formulations.throughput;
+        kept;
+        solution;
+      }
+
+let to_schedule (p : Platform.t) r =
+  let reduced = Platform.restrict p ~keep:(fun v -> List.mem v r.kept) in
+  Arborescence_packing.schedule_of_broadcast reduced r.solution

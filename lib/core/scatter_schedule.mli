@@ -1,0 +1,29 @@
+(** Concrete schedules for the scatter-style LP solutions.
+
+    The paper asserts Multicast-UB and MulticastMultiSource-UB are
+    schedulable ("it is easy to build up a schedule from the solution of
+    the linear program"); this module is that construction. Each
+    commodity's flow is decomposed into weighted origin→destination paths
+    ({!Flow_decompose}); each path becomes a single-destination chain tree
+    over the platform graph, and the weighted chains go through the same
+    weighted-König machinery as multicast trees ({!Schedule.of_tree_set}).
+
+    The resulting schedule's [throughput] counts {e messages} per time
+    unit (the sum over commodities), i.e. [|destinations| * rho] for a
+    scatter with per-destination rate rho.
+
+    For multi-source solutions the chains of a commodity originating at a
+    secondary source are validated per-commodity: the simulator checks
+    each chain's internal causality, while the cross-commodity phase (a
+    secondary source re-emits data one period after receiving it) is a
+    constant offset that does not affect steady state. *)
+
+(** [of_solution p sol] builds the schedule. [Error] when a commodity's
+    flow decomposition loses too much value to rounding, or when rounding
+    denominators overflow. *)
+val of_solution : Platform.t -> Formulations.solution -> (Schedule.t, string) Result.t
+
+(** [message_rate sched] is the schedule's total messages per time unit
+    (equals [Schedule.throughput]); [per_destination sched rho_expected]
+    helpers are left to callers. *)
+val message_rate : Schedule.t -> Rat.t

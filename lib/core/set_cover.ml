@@ -1,0 +1,114 @@
+type t = {
+  universe : int;
+  sets : int list array;
+}
+
+let make ~universe sets =
+  if universe < 1 then invalid_arg "Set_cover.make: empty universe";
+  let norm s =
+    let s = List.sort_uniq compare s in
+    List.iter
+      (fun x -> if x < 0 || x >= universe then invalid_arg "Set_cover.make: element out of range")
+      s;
+    s
+  in
+  { universe; sets = Array.of_list (List.map norm sets) }
+
+let is_cover t chosen =
+  let covered = Array.make t.universe false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.sets then invalid_arg "Set_cover.is_cover: bad index";
+      List.iter (fun x -> covered.(x) <- true) t.sets.(i))
+    chosen;
+  Array.for_all Fun.id covered
+
+let greedy t =
+  let covered = Array.make t.universe false in
+  let n_covered = ref 0 in
+  let chosen = ref [] in
+  let gain i =
+    List.fold_left (fun acc x -> if covered.(x) then acc else acc + 1) 0 t.sets.(i)
+  in
+  let rec loop () =
+    if !n_covered = t.universe then Some (List.rev !chosen)
+    else begin
+      let best = ref (-1) and best_gain = ref 0 in
+      Array.iteri
+        (fun i _ ->
+          let g = gain i in
+          if g > !best_gain then begin
+            best := i;
+            best_gain := g
+          end)
+        t.sets;
+      if !best < 0 then None
+      else begin
+        chosen := !best :: !chosen;
+        List.iter
+          (fun x ->
+            if not covered.(x) then begin
+              covered.(x) <- true;
+              incr n_covered
+            end)
+          t.sets.(!best);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let minimum t =
+  match greedy t with
+  | None -> None
+  | Some greedy_sol ->
+    let best = ref (Array.of_list greedy_sol) in
+    (* Branch on the first uncovered element: one of the sets containing it
+       must be chosen. Prunes by the incumbent size. *)
+    let sets_with = Array.make t.universe [] in
+    Array.iteri
+      (fun i s -> List.iter (fun x -> sets_with.(x) <- i :: sets_with.(x)) s)
+      t.sets;
+    let rec search chosen covered n_covered =
+      if List.length chosen >= Array.length !best then ()
+      else if n_covered = t.universe then best := Array.of_list chosen
+      else begin
+        let x = ref 0 in
+        while covered.(!x) do incr x done;
+        List.iter
+          (fun i ->
+            let newly =
+              List.filter (fun y -> not covered.(y)) t.sets.(i)
+            in
+            if newly <> [] then begin
+              List.iter (fun y -> covered.(y) <- true) newly;
+              search (i :: chosen) covered (n_covered + List.length newly);
+              List.iter (fun y -> covered.(y) <- false) newly
+            end)
+          sets_with.(!x)
+      end
+    in
+    search [] (Array.make t.universe false) 0;
+    Some (List.sort compare (Array.to_list !best))
+
+let random rng ~universe ~n_sets ~density =
+  if n_sets < 1 then invalid_arg "Set_cover.random: need at least one set";
+  let sets =
+    Array.init n_sets (fun _ ->
+        List.filter (fun _ -> Random.State.float rng 1.0 < density) (List.init universe Fun.id))
+  in
+  (* Patch: every element must belong to at least one set. *)
+  for x = 0 to universe - 1 do
+    if not (Array.exists (fun s -> List.mem x s) sets) then begin
+      let i = Random.State.int rng n_sets in
+      sets.(i) <- x :: sets.(i)
+    end
+  done;
+  make ~universe (Array.to_list sets)
+
+let pp fmt t =
+  Format.fprintf fmt "universe %d:" t.universe;
+  Array.iteri
+    (fun i s ->
+      Format.fprintf fmt " C%d={%s}" i (String.concat "," (List.map string_of_int s)))
+    t.sets

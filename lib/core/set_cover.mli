@@ -1,0 +1,35 @@
+(** MINIMUM-SET-COVER instances — the NP-hardness source problem.
+
+    An instance is a universe [X = {0 .. universe-1}] and a collection of
+    subsets; the question is whether some [B] subsets cover [X]. Theorem 1
+    reduces it to COMPACT-MULTICAST via the Fig. 2 gadget; this module
+    provides the combinatorial side: random instances, the greedy
+    [ln n]-approximation, and exact minimum covers for small instances. *)
+
+type t = {
+  universe : int; (** elements are [0 .. universe - 1] *)
+  sets : int list array; (** each sorted, duplicate-free *)
+}
+
+(** [make ~universe sets] validates element ranges and normalizes sets. *)
+val make : universe:int -> int list list -> t
+
+(** [is_cover t chosen] checks whether the union of the chosen set indices
+    covers the universe. *)
+val is_cover : t -> int list -> bool
+
+(** Classical greedy: repeatedly take the set covering the most uncovered
+    elements. Returns the chosen indices, or [None] if even the union of
+    all sets misses an element. *)
+val greedy : t -> int list option
+
+(** Exact minimum cover by branch and bound over uncovered elements.
+    Exponential in the worst case; intended for gadget-size instances. *)
+val minimum : t -> int list option
+
+(** [random rng ~universe ~n_sets ~density] draws each membership with
+    probability [density], then patches uncovered elements into a random
+    set so the instance is always coverable. *)
+val random : Random.State.t -> universe:int -> n_sets:int -> density:float -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type matching = { pair_of_left : int array; pair_of_right : int array; size : int }
+
+let max_matching ~n_left ~n_right ~adj =
+  if Array.length adj <> n_left then invalid_arg "Bipartite.max_matching: adj size";
+  let pair_of_left = Array.make n_left (-1) in
+  let pair_of_right = Array.make n_right (-1) in
+  let visited = Array.make n_right false in
+  (* Classic Kuhn augmentation: try to place [l], displacing matched
+     neighbours recursively along alternating paths. *)
+  let rec try_augment l =
+    List.exists
+      (fun r ->
+        if visited.(r) then false
+        else begin
+          visited.(r) <- true;
+          if pair_of_right.(r) = -1 || try_augment pair_of_right.(r) then begin
+            pair_of_left.(l) <- r;
+            pair_of_right.(r) <- l;
+            true
+          end else false
+        end)
+      adj.(l)
+  in
+  let size = ref 0 in
+  for l = 0 to n_left - 1 do
+    Array.fill visited 0 n_right false;
+    if try_augment l then incr size
+  done;
+  { pair_of_left; pair_of_right; size = !size }
+
+let is_perfect m ~n_left = m.size = n_left

@@ -1,0 +1,16 @@
+(** Maximum matching in bipartite graphs (Kuhn's augmenting paths).
+
+    Left and right vertex sets are [0 .. n_left-1] and [0 .. n_right-1];
+    adjacency maps each left vertex to its right neighbours. *)
+
+type matching = {
+  pair_of_left : int array; (** right partner of each left node, or [-1] *)
+  pair_of_right : int array; (** left partner of each right node, or [-1] *)
+  size : int;
+}
+
+(** [max_matching ~n_left ~n_right ~adj] computes a maximum matching. *)
+val max_matching : n_left:int -> n_right:int -> adj:int list array -> matching
+
+(** [is_perfect m ~n_left] is true when every left vertex is matched. *)
+val is_perfect : matching -> n_left:int -> bool

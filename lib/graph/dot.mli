@@ -1,0 +1,16 @@
+(** Graphviz DOT export, for the Fig. 12-style topology dumps. *)
+
+(** [digraph ?highlight_nodes ?highlight_edges ?edge_label g] renders a DOT
+    description. Highlighted nodes are drawn filled (the paper's target
+    shading); highlighted edges bold. [edge_label] overrides the default
+    cost label; return [None] to omit the label. *)
+val digraph :
+  ?highlight_nodes:int list ->
+  ?diamond_nodes:int list ->
+  ?highlight_edges:(int * int) list ->
+  ?edge_label:(Digraph.edge -> string option) ->
+  Digraph.t ->
+  string
+
+(** [save path dot] writes the DOT text to a file. *)
+val save : string -> string -> unit

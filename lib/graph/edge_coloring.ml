@@ -1,0 +1,141 @@
+type slot = { weight : int; pairs : (int * int) list }
+type t = { slots : slot list; makespan : int }
+
+type cell = { l : int; r : int; mutable w : int; real : bool }
+
+let max_degree ~n_left ~n_right edges =
+  let deg_l = Array.make (max n_left 1) 0 in
+  let deg_r = Array.make (max n_right 1) 0 in
+  List.iter
+    (fun (l, r, w) ->
+      deg_l.(l) <- deg_l.(l) + w;
+      deg_r.(r) <- deg_r.(r) + w)
+    edges;
+  let delta = ref 0 in
+  Array.iter (fun d -> if d > !delta then delta := d) deg_l;
+  Array.iter (fun d -> if d > !delta then delta := d) deg_r;
+  !delta
+
+let decompose ~n_left ~n_right edges =
+  List.iter
+    (fun (l, r, w) ->
+      if l < 0 || l >= n_left || r < 0 || r >= n_right then
+        invalid_arg "Edge_coloring.decompose: endpoint out of range";
+      if w <= 0 then invalid_arg "Edge_coloring.decompose: non-positive weight")
+    edges;
+  (* Merge duplicate (l, r) pairs into one combined real edge. *)
+  let merged = Hashtbl.create 64 in
+  List.iter
+    (fun (l, r, w) ->
+      let k = (l, r) in
+      Hashtbl.replace merged k (w + Option.value ~default:0 (Hashtbl.find_opt merged k)))
+    edges;
+  let real_edges = Hashtbl.fold (fun (l, r) w acc -> (l, r, w) :: acc) merged [] in
+  let delta = max_degree ~n_left ~n_right real_edges in
+  if delta = 0 then { slots = []; makespan = 0 }
+  else begin
+    let n = max n_left n_right in
+    let deg_l = Array.make n 0 and deg_r = Array.make n 0 in
+    List.iter
+      (fun (l, r, w) ->
+        deg_l.(l) <- deg_l.(l) + w;
+        deg_r.(r) <- deg_r.(r) + w)
+      real_edges;
+    let cells = ref (List.map (fun (l, r, w) -> { l; r; w; real = true }) real_edges) in
+    (* Pad to a delta-regular multigraph: both sides have the same total
+       deficiency (n*delta - total weight), so greedy pairing terminates. *)
+    let li = ref 0 and ri = ref 0 in
+    while !li < n && !ri < n do
+      while !li < n && deg_l.(!li) >= delta do incr li done;
+      while !ri < n && deg_r.(!ri) >= delta do incr ri done;
+      if !li < n && !ri < n then begin
+        let w = min (delta - deg_l.(!li)) (delta - deg_r.(!ri)) in
+        cells := { l = !li; r = !ri; w; real = false } :: !cells;
+        deg_l.(!li) <- deg_l.(!li) + w;
+        deg_r.(!ri) <- deg_r.(!ri) + w
+      end
+    done;
+    let slots = ref [] in
+    let makespan = ref 0 in
+    let remaining = ref delta in
+    while !remaining > 0 do
+      let live = List.filter (fun c -> c.w > 0) !cells in
+      (* Node adjacency of the support (deduplicated neighbours). *)
+      let adj = Array.make n [] in
+      List.iter (fun c -> if not (List.mem c.r adj.(c.l)) then adj.(c.l) <- c.r :: adj.(c.l)) live;
+      let m = Bipartite.max_matching ~n_left:n ~n_right:n ~adj in
+      assert (Bipartite.is_perfect m ~n_left:n);
+      (* For each matched pair pick the live parallel edge of minimum
+         weight: peeling zeroes it out fastest. *)
+      let chosen =
+        List.init n (fun l ->
+            let r = m.Bipartite.pair_of_left.(l) in
+            let candidates = List.filter (fun c -> c.l = l && c.r = r) live in
+            match candidates with
+            | [] -> assert false
+            | first :: rest ->
+              List.fold_left (fun best c -> if c.w < best.w then c else best) first rest)
+      in
+      let peel = List.fold_left (fun acc c -> min acc c.w) max_int chosen in
+      assert (peel > 0);
+      List.iter (fun c -> c.w <- c.w - peel) chosen;
+      let pairs = List.filter_map (fun c -> if c.real then Some (c.l, c.r) else None) chosen in
+      slots := { weight = peel; pairs } :: !slots;
+      makespan := !makespan + peel;
+      remaining := !remaining - peel
+    done;
+    { slots = List.rev !slots; makespan = !makespan }
+  end
+
+let check ~n_left ~n_right edges t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let delta = max_degree ~n_left ~n_right edges in
+  if t.makespan <> delta then fail "makespan %d <> max degree %d" t.makespan delta
+  else begin
+    let covered = Hashtbl.create 64 in
+    let rec check_slots = function
+      | [] -> Ok ()
+      | s :: rest ->
+        if s.weight <= 0 then fail "slot with non-positive weight"
+        else begin
+          let seen_l = Hashtbl.create 16 and seen_r = Hashtbl.create 16 in
+          let ok =
+            List.for_all
+              (fun (l, r) ->
+                let fresh = not (Hashtbl.mem seen_l l) && not (Hashtbl.mem seen_r r) in
+                Hashtbl.replace seen_l l ();
+                Hashtbl.replace seen_r r ();
+                Hashtbl.replace covered (l, r)
+                  (s.weight + Option.value ~default:0 (Hashtbl.find_opt covered (l, r)));
+                fresh)
+              s.pairs
+          in
+          if not ok then fail "slot is not a matching" else check_slots rest
+        end
+    in
+    match check_slots t.slots with
+    | Error _ as e -> e
+    | Ok () ->
+      let merged = Hashtbl.create 64 in
+      List.iter
+        (fun (l, r, w) ->
+          Hashtbl.replace merged (l, r)
+            (w + Option.value ~default:0 (Hashtbl.find_opt merged (l, r))))
+        edges;
+      let bad = ref None in
+      Hashtbl.iter
+        (fun k w ->
+          let got = Option.value ~default:0 (Hashtbl.find_opt covered k) in
+          if got <> w && !bad = None then bad := Some (k, w, got))
+        merged;
+      (match !bad with
+      | Some ((l, r), w, got) -> fail "edge (%d,%d): weight %d covered %d" l r w got
+      | None ->
+        let extra = ref None in
+        Hashtbl.iter
+          (fun k _ -> if not (Hashtbl.mem merged k) && !extra = None then extra := Some k)
+          covered;
+        (match !extra with
+        | Some (l, r) -> fail "slot uses edge (%d,%d) absent from input" l r
+        | None -> Ok ()))
+  end

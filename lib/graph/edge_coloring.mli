@@ -1,0 +1,41 @@
+(** Weighted edge colouring of bipartite multigraphs.
+
+    This is the algorithmic heart of the paper's constructive results: given
+    the per-edge communication loads of a period (as integer weights after
+    scaling by a common denominator), decompose them into weighted matchings
+    — sets of communications that can run simultaneously under the one-port
+    model. The weighted version of König's edge-colouring theorem (Schrijver,
+    vol. A ch. 20, as cited in the proof of Theorem 1) guarantees that the
+    total weight of the matchings equals the maximum weighted degree, i.e.
+    the busiest port is the only bottleneck.
+
+    Implementation: pad the bipartite multigraph with dummy edges until it
+    is [delta]-regular (always possible since both sides then have equal
+    total weight), repeatedly extract a perfect matching of the support
+    (Hall's theorem guarantees one on a regular multigraph) and peel it off
+    with the minimum weight it carries. Every peel zeroes at least one edge,
+    so at most [|E| + n] matchings are produced. *)
+
+type slot = {
+  weight : int; (** duration of the slot, in scaled time units *)
+  pairs : (int * int) list; (** simultaneous (left, right) communications *)
+}
+
+type t = {
+  slots : slot list;
+  makespan : int; (** total weight = maximum weighted degree of the input *)
+}
+
+(** [decompose ~n_left ~n_right edges] colours the multigraph whose edges
+    are [(left, right, weight)] triples with positive integer weights.
+    Duplicate [(left, right)] pairs are allowed and treated as one combined
+    load. Raises [Invalid_argument] on non-positive weights or out-of-range
+    endpoints. *)
+val decompose : n_left:int -> n_right:int -> (int * int * int) list -> t
+
+(** [check ~n_left ~n_right edges t] verifies the decomposition: each slot
+    is a matching, per-edge weights are exactly covered, and the makespan
+    equals the maximum weighted degree. Returns an error description on
+    failure. *)
+val check :
+  n_left:int -> n_right:int -> (int * int * int) list -> t -> (unit, string) Result.t

@@ -1,0 +1,141 @@
+type result = {
+  value : float;
+  edge_flow : float array;
+  source_side : bool array;
+  sink_side : bool array;
+}
+
+let eps = 1e-12
+
+(* Adjacency representation with paired residual arcs: arc 2i is the i-th
+   input edge, arc 2i+1 its reverse. *)
+type net = {
+  head : int array; (* arc -> head node *)
+  cap : float array; (* residual capacity per arc *)
+  adj : int list array; (* node -> arcs out of it *)
+}
+
+let build ~n ~edges =
+  let m = Array.length edges in
+  let head = Array.make (2 * m) 0 in
+  let cap = Array.make (2 * m) 0.0 in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun i (u, v, c) ->
+      if c < 0.0 then invalid_arg "Maxflow: negative capacity";
+      head.(2 * i) <- v;
+      cap.(2 * i) <- c;
+      adj.(u) <- (2 * i) :: adj.(u);
+      head.((2 * i) + 1) <- u;
+      cap.((2 * i) + 1) <- 0.0;
+      adj.(v) <- ((2 * i) + 1) :: adj.(v))
+    edges;
+  { head; cap; adj }
+
+let solve ~n ~edges ~s ~t ?(limit = infinity) () =
+  if s = t then invalid_arg "Maxflow.solve: source equals sink";
+  let net = build ~n ~edges in
+  let level = Array.make n (-1) in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    level.(s) <- 0;
+    let q = Queue.create () in
+    Queue.push s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun a ->
+          let w = net.head.(a) in
+          if level.(w) < 0 && net.cap.(a) > eps then begin
+            level.(w) <- level.(v) + 1;
+            Queue.push w q
+          end)
+        net.adj.(v)
+    done;
+    level.(t) >= 0
+  in
+  (* Blocking flow by DFS with an arc iterator per node. *)
+  let iter = Array.make n [] in
+  let rec dfs v pushed =
+    if v = t then pushed
+    else begin
+      let rec try_arcs () =
+        match iter.(v) with
+        | [] -> 0.0
+        | a :: rest ->
+          let w = net.head.(a) in
+          if net.cap.(a) > eps && level.(w) = level.(v) + 1 then begin
+            let got = dfs w (min pushed net.cap.(a)) in
+            if got > eps then begin
+              net.cap.(a) <- net.cap.(a) -. got;
+              net.cap.(a lxor 1) <- net.cap.(a lxor 1) +. got;
+              got
+            end
+            else begin
+              iter.(v) <- rest;
+              try_arcs ()
+            end
+          end
+          else begin
+            iter.(v) <- rest;
+            try_arcs ()
+          end
+      in
+      try_arcs ()
+    end
+  in
+  let total = ref 0.0 in
+  let continue_ = ref true in
+  while !continue_ && !total < limit -. eps && bfs () do
+    for v = 0 to n - 1 do
+      iter.(v) <- net.adj.(v)
+    done;
+    let inner = ref true in
+    while !inner do
+      let got = dfs s (limit -. !total) in
+      if got > eps then begin
+        total := !total +. got;
+        if !total >= limit -. eps then inner := false
+      end
+      else inner := false
+    done;
+    if !total >= limit -. eps then continue_ := false
+  done;
+  let edge_flow =
+    Array.mapi (fun i (_, _, c) -> c -. net.cap.(2 * i)) edges
+  in
+  (* Min-cut side: nodes reachable from s in the residual network. *)
+  let source_side = Array.make n false in
+  let q = Queue.create () in
+  source_side.(s) <- true;
+  Queue.push s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun a ->
+        let w = net.head.(a) in
+        if (not source_side.(w)) && net.cap.(a) > eps then begin
+          source_side.(w) <- true;
+          Queue.push w q
+        end)
+      net.adj.(v)
+  done;
+  (* Nodes that can reach t in the residual: reverse BFS — v can step to w
+     when the residual arc v->w (the pair of some arc b out of w) has
+     capacity left. *)
+  let sink_side = Array.make n false in
+  let q = Queue.create () in
+  sink_side.(t) <- true;
+  Queue.push t q;
+  while not (Queue.is_empty q) do
+    let w = Queue.pop q in
+    List.iter
+      (fun b ->
+        let v = net.head.(b) in
+        if (not sink_side.(v)) && net.cap.(b lxor 1) > eps then begin
+          sink_side.(v) <- true;
+          Queue.push v q
+        end)
+      net.adj.(w)
+  done;
+  { value = !total; edge_flow; source_side; sink_side }

@@ -1,0 +1,23 @@
+(** Maximum flow / minimum cut (Dinic's algorithm, float capacities).
+
+    Separation oracle for the cut-generation solver of the Multicast-LB and
+    Broadcast-EB programs: for candidate edge occupations [n_jk], a target
+    can receive throughput ρ iff every source→target cut has capacity at
+    least ρ (max-flow–min-cut), so a violated cut is a violated LP row. *)
+
+type result = {
+  value : float;
+  edge_flow : float array; (** flow on each input edge, same order *)
+  source_side : bool array; (** min-cut: nodes reachable from [s] in the residual *)
+  sink_side : bool array;
+      (** second min-cut: nodes that can reach [t] in the residual (both
+          cuts coincide only when the minimum cut is unique) *)
+}
+
+(** [solve ~n ~edges ~s ~t ?limit ()] computes a maximum [s]→[t] flow on
+    the digraph with [n] nodes and capacitated [edges = (src, dst, cap)].
+    Capacities must be non-negative; [limit] stops early once that much
+    flow has been routed (used to recover a flow of value exactly ρ).
+    [source_side] describes a minimum cut when [limit] was not reached. *)
+val solve :
+  n:int -> edges:(int * int * float) array -> s:int -> t:int -> ?limit:float -> unit -> result

@@ -1,0 +1,57 @@
+type result = { dist : Rat.t option array; pred : int array }
+
+(* Generic Dijkstra parameterized by the path-extension rule: additive
+   shortest path uses [extend d c = d + c]; bottleneck uses [max d c]. Both
+   rules are monotone, which is all Dijkstra's correctness needs. *)
+let generic g ~cost ~extend ~sources =
+  let n = Digraph.n_nodes g in
+  let dist = Array.make n None in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let q = Pqueue.create Rat.compare in
+  List.iter
+    (fun s ->
+      dist.(s) <- Some Rat.zero;
+      Pqueue.push q Rat.zero s)
+    sources;
+  while not (Pqueue.is_empty q) do
+    let d, v = Pqueue.pop q in
+    if not settled.(v) then begin
+      settled.(v) <- true;
+      List.iter
+        (fun (e : Digraph.edge) ->
+          let c = cost e in
+          if Rat.(c < zero) then invalid_arg "Paths: negative edge cost";
+          let nd = extend d c in
+          let better =
+            match dist.(e.dst) with
+            | None -> true
+            | Some old -> Rat.(nd < old)
+          in
+          if better && not settled.(e.dst) then begin
+            dist.(e.dst) <- Some nd;
+            pred.(e.dst) <- v;
+            Pqueue.push q nd e.dst
+          end)
+        (Digraph.out_edges g v)
+    end
+  done;
+  { dist; pred }
+
+let dijkstra_cost g ~cost ~sources = generic g ~cost ~extend:Rat.add ~sources
+
+let dijkstra g ~sources =
+  dijkstra_cost g ~cost:(fun (e : Digraph.edge) -> e.cost) ~sources
+
+let minimax g ~cost ~sources = generic g ~cost ~extend:Rat.max ~sources
+
+let extract_path r v =
+  match r.dist.(v) with
+  | None -> None
+  | Some _ ->
+    let rec go acc v = if r.pred.(v) < 0 then v :: acc else go (v :: acc) r.pred.(v) in
+    Some (go [] v)
+
+let rec path_edges = function
+  | [] | [ _ ] -> []
+  | a :: (b :: _ as rest) -> (a, b) :: path_edges rest

@@ -1,0 +1,31 @@
+(** Shortest and bottleneck paths with exact rational distances. *)
+
+type result = {
+  dist : Rat.t option array; (** [dist.(v)] is [None] when unreachable *)
+  pred : int array; (** predecessor node, [-1] at sources / unreachable *)
+}
+
+(** [dijkstra g ~sources] computes additive single/multi-source shortest
+    paths; every node of [sources] starts at distance zero. Edge costs must
+    be positive (guaranteed by {!Digraph.add_edge}). *)
+val dijkstra : Digraph.t -> sources:int list -> result
+
+(** [dijkstra_cost g ~cost ~sources] is {!dijkstra} with a custom per-edge
+    cost (e.g. the mutated residual costs of the one-port MCPH heuristic).
+    Costs must be non-negative. *)
+val dijkstra_cost :
+  Digraph.t -> cost:(Digraph.edge -> Rat.t) -> sources:int list -> result
+
+(** [minimax g ~cost ~sources] minimizes the {e maximum} edge cost along the
+    path instead of the sum (bottleneck shortest path) — the path metric of
+    the paper's MCPH adaptation (Fig. 9, line 6). Source nodes have
+    bottleneck zero. *)
+val minimax :
+  Digraph.t -> cost:(Digraph.edge -> Rat.t) -> sources:int list -> result
+
+(** [extract_path r v] is the node list of the path from the reaching source
+    to [v] (inclusive), following [pred]; [None] when unreachable. *)
+val extract_path : result -> int -> int list option
+
+(** [path_edges nodes] pairs up consecutive nodes of a path. *)
+val path_edges : int list -> (int * int) list

@@ -1,0 +1,44 @@
+(** Linear-program builder with named variables.
+
+    All variables are implicitly non-negative, which matches every
+    formulation in the paper (fractions of messages, occupation times,
+    throughput). Constraints may be added incrementally; the multicast
+    formulations use this for lazy generation of the [n_jk >= x_i_jk]
+    max-occupation rows. *)
+
+type t
+
+type cmp = Le | Ge | Eq
+
+(** Sparse linear expression: list of (coefficient, variable). *)
+type expr = (float * int) list
+
+val create : unit -> t
+
+(** [add_var m name] registers a fresh variable and returns its index.
+    Names must be unique; reuse raises [Invalid_argument]. *)
+val add_var : t -> string -> int
+
+(** [var m name] is the index of a registered variable.
+    Raises [Not_found]. *)
+val var : t -> string -> int
+
+val n_vars : t -> int
+val var_name : t -> int -> string
+
+(** [add_constraint m ?name expr cmp rhs] appends a row. *)
+val add_constraint : t -> ?name:string -> expr -> cmp -> float -> unit
+
+val n_constraints : t -> int
+
+(** [set_objective m ~maximize expr] installs the objective. *)
+val set_objective : t -> maximize:bool -> expr -> unit
+
+(** Accessors used by the solvers. *)
+
+val objective : t -> bool * expr
+
+val rows : t -> (expr * cmp * float) array
+
+(** Pretty-print in LP-ish text format, for debugging and the CLI. *)
+val pp : Format.formatter -> t -> unit

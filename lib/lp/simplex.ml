@@ -1,0 +1,328 @@
+type solution = {
+  values : float array;
+  objective : float;
+  row_duals : float array;
+}
+type status = Optimal of solution | Infeasible | Unbounded | Stalled
+
+let epsilon = 1e-9
+let last_iterations = ref 0
+let debug = Sys.getenv_opt "MCAST_LP_DEBUG" <> None
+let max_iterations = 200_000
+let stall_window = 512 (* degenerate iterations before switching to Bland *)
+
+(* The tableau holds one float array per row, of length [ncols + 1]; the
+   last entry is the right-hand side. The cost row is separate. All hot
+   loops use unsafe accesses: indices come from the fixed tableau shape. *)
+type tableau = {
+  m : int;
+  ncols : int;
+  a : float array array;
+  cost : float array; (* reduced costs, cost.(ncols) = -objective value *)
+  basis : int array;
+  alive : bool array; (* rows dropped as redundant during phase 1 *)
+  n_struct : int;
+  art_start : int; (* columns >= art_start are artificial *)
+}
+
+let pivot t r q =
+  let arow = t.a.(r) in
+  let piv = arow.(q) in
+  let inv = 1.0 /. piv in
+  for j = 0 to t.ncols do
+    Array.unsafe_set arow j (Array.unsafe_get arow j *. inv)
+  done;
+  arow.(q) <- 1.0;
+  for i = 0 to t.m - 1 do
+    if i <> r && t.alive.(i) then begin
+      let row = t.a.(i) in
+      let f = Array.unsafe_get row q in
+      if abs_float f > 0.0 then begin
+        for j = 0 to t.ncols do
+          Array.unsafe_set row j
+            (Array.unsafe_get row j -. (f *. Array.unsafe_get arow j))
+        done;
+        row.(q) <- 0.0
+      end
+    end
+  done;
+  let f = t.cost.(q) in
+  if abs_float f > 0.0 then begin
+    for j = 0 to t.ncols do
+      Array.unsafe_set t.cost j
+        (Array.unsafe_get t.cost j -. (f *. Array.unsafe_get arow j))
+    done;
+    t.cost.(q) <- 0.0
+  end;
+  t.basis.(r) <- q
+
+(* Entering column: Dantzig (most negative reduced cost) or Bland (lowest
+   index with negative reduced cost). [allow] masks artificial columns out
+   during phase 2. *)
+let entering t ~bland ~allow =
+  if bland then begin
+    let rec go j =
+      if j > t.ncols - 1 then None
+      else if allow j && t.cost.(j) < -.epsilon then Some j
+      else go (j + 1)
+    in
+    go 0
+  end
+  else begin
+    let best = ref (-1) and best_v = ref (-.epsilon) in
+    for j = 0 to t.ncols - 1 do
+      let c = Array.unsafe_get t.cost j in
+      if c < !best_v && allow j then begin
+        best_v := c;
+        best := j
+      end
+    done;
+    if !best < 0 then None else Some !best
+  end
+
+(* Ratio test: minimum b_i / a_iq over a_iq > eps. Ties prefer kicking out
+   artificial variables, then the smallest basis index (Bland-compatible).
+
+   Artificial variables basic at zero are evicted eagerly: when the entering
+   column is structural and touches such a row at all (either sign), pivot
+   there first. The pivot is degenerate so feasibility is kept, and it
+   prevents the artificial from ever rising above zero — which would
+   silently violate its equality row. Each such pivot removes one artificial
+   from the basis, so at most #artificials of them happen overall. *)
+let leaving t q =
+  let evict = ref (-1) in
+  if q < t.art_start then begin
+    let i = ref 0 in
+    while !evict < 0 && !i < t.m do
+      if
+        t.alive.(!i)
+        && t.basis.(!i) >= t.art_start
+        && abs_float t.a.(!i).(t.ncols) <= epsilon
+        && abs_float t.a.(!i).(q) > 1e-7
+      then evict := !i;
+      incr i
+    done
+  end;
+  if !evict >= 0 then Some !evict
+  else begin
+  let best = ref (-1) and best_ratio = ref infinity in
+  for i = 0 to t.m - 1 do
+    if t.alive.(i) then begin
+      let aiq = t.a.(i).(q) in
+      if aiq > epsilon then begin
+        let ratio = t.a.(i).(t.ncols) /. aiq in
+        let ratio = if ratio < 0.0 then 0.0 else ratio in
+        let better =
+          if ratio < !best_ratio -. epsilon then true
+          else if ratio > !best_ratio +. epsilon then false
+          else begin
+            let cur = !best in
+            if cur < 0 then true
+            else begin
+              let i_art = t.basis.(i) >= t.art_start in
+              let cur_art = t.basis.(cur) >= t.art_start in
+              if i_art <> cur_art then i_art else t.basis.(i) < t.basis.(cur)
+            end
+          end
+        in
+        if better then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+  end
+
+type phase_result = P_optimal | P_unbounded | P_stalled
+
+let run_phase t ~allow =
+  let iter = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let bland = ref false in
+  let stall = ref 0 in
+  let last_obj = ref t.cost.(t.ncols) in
+  let result = ref None in
+  while !result = None do
+    if !iter >= max_iterations then result := Some P_stalled
+    else begin
+      match entering t ~bland:!bland ~allow with
+      | None -> result := Some P_optimal
+      | Some q -> (
+        match leaving t q with
+        | None -> result := Some P_unbounded
+        | Some r ->
+          pivot t r q;
+          incr iter;
+          if debug && !iter mod 1000 = 0 then
+            Printf.eprintf "[simplex] iter %d obj %.6f bland %b\n%!" !iter
+              t.cost.(t.ncols) !bland;
+          let obj = t.cost.(t.ncols) in
+          if abs_float (obj -. !last_obj) < epsilon then begin
+            incr stall;
+            if !stall > stall_window then bland := true
+          end
+          else begin
+            stall := 0;
+            bland := false;
+            last_obj := obj
+          end)
+    end
+  done;
+  last_iterations := !last_iterations + !iter;
+  if debug then
+    Printf.eprintf "[simplex] phase: %d iters, %dx%d, %.2fs\n%!" !iter t.m t.ncols
+      (Unix.gettimeofday () -. t0);
+  Option.get !result
+
+let build model =
+  let maximize, obj = Lp_model.objective model in
+  let rows = Lp_model.rows model in
+  let nv = Lp_model.n_vars model in
+  (* Count slack and artificial columns; normalize rhs >= 0 first. *)
+  let norm =
+    Array.map
+      (fun (expr, cmp, rhs) ->
+        if rhs < 0.0 then
+          let expr = List.map (fun (c, v) -> (-.c, v)) expr in
+          let cmp = match cmp with Lp_model.Le -> Lp_model.Ge | Ge -> Le | Eq -> Eq in
+          (expr, cmp, -.rhs)
+        else (expr, cmp, rhs))
+      rows
+  in
+  let m = Array.length norm in
+  let n_slack = ref 0 and n_art = ref 0 in
+  Array.iter
+    (fun (_, cmp, _) ->
+      match cmp with
+      | Lp_model.Le -> incr n_slack
+      | Ge ->
+        incr n_slack;
+        incr n_art
+      | Eq -> incr n_art)
+    norm;
+  let art_start = nv + !n_slack in
+  let ncols = art_start + !n_art in
+  let a = Array.init m (fun _ -> Array.make (ncols + 1) 0.0) in
+  let basis = Array.make m (-1) in
+  (* For dual recovery: the identity-like column of each row and its sign
+     (+1 slack/artificial, -1 surplus). *)
+  let aux_col = Array.make m (-1) in
+  let aux_sign = Array.make m 1.0 in
+  let slack = ref nv and art = ref art_start in
+  Array.iteri
+    (fun i (expr, cmp, rhs) ->
+      List.iter (fun (c, v) -> a.(i).(v) <- a.(i).(v) +. c) expr;
+      a.(i).(ncols) <- rhs;
+      (match cmp with
+      | Lp_model.Le ->
+        a.(i).(!slack) <- 1.0;
+        basis.(i) <- !slack;
+        aux_col.(i) <- !slack;
+        incr slack
+      | Ge ->
+        a.(i).(!slack) <- -1.0;
+        aux_col.(i) <- !slack;
+        aux_sign.(i) <- -1.0;
+        incr slack;
+        a.(i).(!art) <- 1.0;
+        basis.(i) <- !art;
+        incr art
+      | Eq ->
+        a.(i).(!art) <- 1.0;
+        basis.(i) <- !art;
+        aux_col.(i) <- !art;
+        incr art))
+    norm;
+  let t =
+    {
+      m;
+      ncols;
+      a;
+      cost = Array.make (ncols + 1) 0.0;
+      basis;
+      alive = Array.make m true;
+      n_struct = nv;
+      art_start;
+    }
+  in
+  (t, maximize, obj, aux_col, aux_sign)
+
+(* Install a minimization cost vector and eliminate the basic columns so
+   that reduced costs of basic variables are zero. *)
+let set_cost t coeffs =
+  Array.fill t.cost 0 (t.ncols + 1) 0.0;
+  List.iter (fun (c, v) -> t.cost.(v) <- t.cost.(v) +. c) coeffs;
+  for i = 0 to t.m - 1 do
+    if t.alive.(i) then begin
+      let f = t.cost.(t.basis.(i)) in
+      if abs_float f > 0.0 then begin
+        let row = t.a.(i) in
+        for j = 0 to t.ncols do
+          Array.unsafe_set t.cost j
+            (Array.unsafe_get t.cost j -. (f *. Array.unsafe_get row j))
+        done;
+        t.cost.(t.basis.(i)) <- 0.0
+      end
+    end
+  done
+
+let solve model =
+  let t, maximize, obj, aux_col, aux_sign = build model in
+  let has_art = t.ncols > t.art_start in
+  let phase1 =
+    if not has_art then P_optimal
+    else begin
+      let art_cost = List.init (t.ncols - t.art_start) (fun k -> (1.0, t.art_start + k)) in
+      set_cost t art_cost;
+      (* The phase-1 objective is bounded below by zero: if the initial
+         basis already sits at zero we are optimal without pivoting. *)
+      if abs_float t.cost.(t.ncols) <= epsilon then P_optimal
+      else run_phase t ~allow:(fun _ -> true)
+    end
+  in
+  match phase1 with
+  | P_stalled -> Stalled
+  | P_unbounded -> Infeasible (* phase-1 objective is bounded below by 0 *)
+  | P_optimal ->
+    let phase1_obj = -.t.cost.(t.ncols) in
+    if has_art && phase1_obj > 1e-6 then Infeasible
+    else begin
+      (* Artificials still basic (at zero) are evicted lazily by the ratio
+         test during phase 2; see [leaving]. *)
+      let sign = if maximize then -1.0 else 1.0 in
+      set_cost t (List.map (fun (c, v) -> (sign *. c, v)) obj);
+      let allow j = j < t.art_start in
+      match run_phase t ~allow with
+      | P_stalled -> Stalled
+      | P_unbounded -> Unbounded
+      | P_optimal ->
+        let values = Array.make t.n_struct 0.0 in
+        for i = 0 to t.m - 1 do
+          if t.alive.(i) && t.basis.(i) < t.n_struct then
+            values.(t.basis.(i)) <- t.a.(i).(t.ncols)
+        done;
+        (* cost.(ncols) is minus the internal (minimization) objective;
+           undo the sign flip applied for maximization problems. *)
+        let objective = -.sign *. t.cost.(t.ncols) in
+        (* Dual of row i: the reduced cost of its slack/artificial column
+           carries -(internal dual); undo the internal sign conventions.
+           Note: duals are reported for the NORMALIZED rows (rhs >= 0); a
+           user row whose rhs was negated has its dual negated too, which
+           callers of row_duals must not rely on — our packing LPs only use
+           non-negative rhs. *)
+        let row_duals =
+          Array.init t.m (fun i ->
+              if aux_col.(i) < 0 then 0.0
+              else -.sign *. aux_sign.(i) *. t.cost.(aux_col.(i)))
+        in
+        Optimal { values; objective; row_duals }
+    end
+
+let solve_exn model =
+  match solve model with
+  | Optimal s -> s
+  | Infeasible -> failwith "Simplex.solve_exn: infeasible"
+  | Unbounded -> failwith "Simplex.solve_exn: unbounded"
+  | Stalled -> failwith "Simplex.solve_exn: stalled"

@@ -1,0 +1,34 @@
+(** Two-phase primal simplex over floats.
+
+    A dense tableau implementation tuned for the multicast LPs: thousands of
+    rows whose coefficients are small rationals (link weights), so plain
+    double arithmetic with absolute tolerances is numerically comfortable.
+    Dantzig pricing with an automatic switch to Bland's rule after a
+    degeneracy stall guarantees termination in practice; a hard iteration
+    cap converts pathological cases into an explicit [Stalled] outcome
+    rather than a hang. *)
+
+type solution = {
+  values : float array; (** one value per structural variable *)
+  objective : float;
+  row_duals : float array;
+      (** shadow price of each constraint, in the order the rows were added
+          ([d objective / d rhs]); valid as-is for rows with non-negative
+          right-hand sides (rows normalized by negation get a flipped
+          sign). Used by the column-generation arborescence packing. *)
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Stalled  (** iteration cap hit; treat as a solver failure *)
+
+(** [solve model] runs two-phase simplex on the model. *)
+val solve : Lp_model.t -> status
+
+(** [solve_exn model] unwraps [Optimal] and raises [Failure] otherwise. *)
+val solve_exn : Lp_model.t -> solution
+
+(** Absolute feasibility/pricing tolerance used by the engine. *)
+val epsilon : float

@@ -1,0 +1,212 @@
+type solution = { values : Rat.t array; objective : Rat.t }
+type status = Optimal of solution | Infeasible | Unbounded
+
+type tableau = {
+  m : int;
+  ncols : int;
+  a : Rat.t array array; (* m rows of length ncols + 1 (rhs last) *)
+  cost : Rat.t array;
+  basis : int array;
+  alive : bool array;
+  n_struct : int;
+  art_start : int;
+}
+
+let pivot t r q =
+  let arow = t.a.(r) in
+  let inv = Rat.inv arow.(q) in
+  for j = 0 to t.ncols do
+    arow.(j) <- Rat.mul arow.(j) inv
+  done;
+  arow.(q) <- Rat.one;
+  for i = 0 to t.m - 1 do
+    if i <> r && t.alive.(i) then begin
+      let row = t.a.(i) in
+      let f = row.(q) in
+      if not (Rat.is_zero f) then begin
+        for j = 0 to t.ncols do
+          row.(j) <- Rat.sub row.(j) (Rat.mul f arow.(j))
+        done;
+        row.(q) <- Rat.zero
+      end
+    end
+  done;
+  let f = t.cost.(q) in
+  if not (Rat.is_zero f) then begin
+    for j = 0 to t.ncols do
+      t.cost.(j) <- Rat.sub t.cost.(j) (Rat.mul f arow.(j))
+    done;
+    t.cost.(q) <- Rat.zero
+  end;
+  t.basis.(r) <- q
+
+(* Bland: lowest-index column with negative reduced cost. *)
+let entering t ~allow =
+  let rec go j =
+    if j >= t.ncols then None
+    else if allow j && Rat.(t.cost.(j) < zero) then Some j
+    else go (j + 1)
+  in
+  go 0
+
+(* Bland-compatible ratio test: among minimum ratios pick the row whose
+   basic variable has the lowest index. *)
+let leaving t q =
+  let best = ref (-1) and best_ratio = ref Rat.zero in
+  for i = 0 to t.m - 1 do
+    if t.alive.(i) then begin
+      let aiq = t.a.(i).(q) in
+      if Rat.(aiq > zero) then begin
+        let ratio = Rat.div t.a.(i).(t.ncols) aiq in
+        let better =
+          !best < 0
+          || Rat.(ratio < !best_ratio)
+          || (Rat.equal ratio !best_ratio && t.basis.(i) < t.basis.(!best))
+        in
+        if better then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+type phase_result = P_optimal | P_unbounded
+
+let rec run_phase t ~allow =
+  match entering t ~allow with
+  | None -> P_optimal
+  | Some q -> (
+    match leaving t q with
+    | None -> P_unbounded
+    | Some r ->
+      pivot t r q;
+      run_phase t ~allow)
+
+let set_cost t coeffs =
+  Array.fill t.cost 0 (t.ncols + 1) Rat.zero;
+  List.iter (fun (c, v) -> t.cost.(v) <- Rat.add t.cost.(v) c) coeffs;
+  for i = 0 to t.m - 1 do
+    if t.alive.(i) then begin
+      let f = t.cost.(t.basis.(i)) in
+      if not (Rat.is_zero f) then begin
+        let row = t.a.(i) in
+        for j = 0 to t.ncols do
+          t.cost.(j) <- Rat.sub t.cost.(j) (Rat.mul f row.(j))
+        done;
+        t.cost.(t.basis.(i)) <- Rat.zero
+      end
+    end
+  done
+
+let purge_artificials t =
+  for i = 0 to t.m - 1 do
+    if t.alive.(i) && t.basis.(i) >= t.art_start then begin
+      let row = t.a.(i) in
+      let q = ref (-1) in
+      let j = ref 0 in
+      while !q < 0 && !j < t.art_start do
+        if not (Rat.is_zero row.(!j)) then q := !j;
+        incr j
+      done;
+      if !q >= 0 then pivot t i !q else t.alive.(i) <- false
+    end
+  done
+
+let solve ~n_vars ~maximize ~objective rows =
+  let norm =
+    List.map
+      (fun (expr, cmp, rhs) ->
+        if Rat.(rhs < zero) then
+          let expr = List.map (fun (c, v) -> (Rat.neg c, v)) expr in
+          let cmp = match cmp with Lp_model.Le -> Lp_model.Ge | Ge -> Le | Eq -> Eq in
+          (expr, cmp, Rat.neg rhs)
+        else (expr, cmp, rhs))
+      rows
+  in
+  let m = List.length norm in
+  let n_slack = ref 0 and n_art = ref 0 in
+  List.iter
+    (fun (_, cmp, _) ->
+      match cmp with
+      | Lp_model.Le -> incr n_slack
+      | Ge ->
+        incr n_slack;
+        incr n_art
+      | Eq -> incr n_art)
+    norm;
+  let art_start = n_vars + !n_slack in
+  let ncols = art_start + !n_art in
+  let a = Array.init m (fun _ -> Array.make (ncols + 1) Rat.zero) in
+  let basis = Array.make (max m 1) (-1) in
+  let slack = ref n_vars and art = ref art_start in
+  List.iteri
+    (fun i (expr, cmp, rhs) ->
+      List.iter (fun (c, v) -> a.(i).(v) <- Rat.add a.(i).(v) c) expr;
+      a.(i).(ncols) <- rhs;
+      match cmp with
+      | Lp_model.Le ->
+        a.(i).(!slack) <- Rat.one;
+        basis.(i) <- !slack;
+        incr slack
+      | Ge ->
+        a.(i).(!slack) <- Rat.minus_one;
+        incr slack;
+        a.(i).(!art) <- Rat.one;
+        basis.(i) <- !art;
+        incr art
+      | Eq ->
+        a.(i).(!art) <- Rat.one;
+        basis.(i) <- !art;
+        incr art)
+    norm;
+  let t =
+    {
+      m;
+      ncols;
+      a;
+      cost = Array.make (ncols + 1) Rat.zero;
+      basis;
+      alive = Array.make (max m 1) true;
+      n_struct = n_vars;
+      art_start;
+    }
+  in
+  let has_art = ncols > art_start in
+  let phase1 =
+    if not has_art then P_optimal
+    else begin
+      let art_cost = List.init (ncols - art_start) (fun k -> (Rat.one, art_start + k)) in
+      set_cost t art_cost;
+      run_phase t ~allow:(fun _ -> true)
+    end
+  in
+  match phase1 with
+  | P_unbounded -> Infeasible
+  | P_optimal ->
+    let phase1_obj = Rat.neg t.cost.(ncols) in
+    if has_art && Rat.(phase1_obj > zero) then Infeasible
+    else begin
+      if has_art then purge_artificials t;
+      let flip = if maximize then Rat.neg else Fun.id in
+      set_cost t (List.map (fun (c, v) -> (flip c, v)) objective);
+      let allow j = j < art_start in
+      match run_phase t ~allow with
+      | P_unbounded -> Unbounded
+      | P_optimal ->
+        let values = Array.make n_vars Rat.zero in
+        for i = 0 to m - 1 do
+          if t.alive.(i) && t.basis.(i) < n_vars then
+            values.(t.basis.(i)) <- t.a.(i).(ncols)
+        done;
+        let internal = Rat.neg t.cost.(ncols) in
+        let objective = if maximize then Rat.neg internal else internal in
+        Optimal { values; objective }
+    end
+
+let solve_exn ~n_vars ~maximize ~objective rows =
+  match solve ~n_vars ~maximize ~objective rows with
+  | Optimal s -> s
+  | Infeasible -> failwith "Simplex_exact: infeasible"
+  | Unbounded -> failwith "Simplex_exact: unbounded"

@@ -1,0 +1,32 @@
+(** Exact two-phase primal simplex over rationals.
+
+    Bland's rule throughout, hence guaranteed termination; no tolerances.
+    Intended for small instances: cross-checking the float engine in tests,
+    and computing exact optimal periods on the paper's hand-built platforms
+    (Figs. 1, 4, 5) where exact values like 2/3 matter. Input is given
+    directly in exact form rather than via {!Lp_model} so that no float
+    round-trip can pollute the coefficients. *)
+
+type solution = {
+  values : Rat.t array; (** one value per structural variable *)
+  objective : Rat.t;
+}
+
+type status = Optimal of solution | Infeasible | Unbounded
+
+(** [solve ~n_vars ~maximize ~objective rows] solves the LP whose variables
+    [0 .. n_vars-1] are non-negative. Each row is
+    [(sparse_expr, cmp, rhs)]. *)
+val solve :
+  n_vars:int ->
+  maximize:bool ->
+  objective:(Rat.t * int) list ->
+  ((Rat.t * int) list * Lp_model.cmp * Rat.t) list ->
+  status
+
+val solve_exn :
+  n_vars:int ->
+  maximize:bool ->
+  objective:(Rat.t * int) list ->
+  ((Rat.t * int) list * Lp_model.cmp * Rat.t) list ->
+  solution

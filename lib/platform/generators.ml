@@ -1,0 +1,77 @@
+let star ~branches ~cost =
+  if branches < 1 then invalid_arg "Generators.star";
+  let g = Digraph.create (branches + 1) in
+  for i = 1 to branches do
+    Digraph.add_edge g ~src:0 ~dst:i ~cost
+  done;
+  Platform.make g ~source:0 ~targets:(List.init branches (fun i -> i + 1))
+
+let chain ~length ~cost =
+  if length < 1 then invalid_arg "Generators.chain";
+  let g = Digraph.create (length + 1) in
+  for i = 0 to length - 1 do
+    Digraph.add_edge g ~src:i ~dst:(i + 1) ~cost
+  done;
+  Platform.make g ~source:0 ~targets:[ length ]
+
+let grid ~rows ~cols ~cost =
+  if rows < 1 || cols < 1 || rows * cols < 2 then invalid_arg "Generators.grid";
+  let g = Digraph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Digraph.add_sym_edge g (id r c) (id r (c + 1)) cost;
+      if r + 1 < rows then Digraph.add_sym_edge g (id r c) (id (r + 1) c) cost
+    done
+  done;
+  Platform.make g ~source:0 ~targets:(List.init ((rows * cols) - 1) (fun i -> i + 1))
+
+let sample_without_replacement rng k pool =
+  let a = Array.of_list pool in
+  let n = Array.length a in
+  if k > n then invalid_arg "sample_without_replacement";
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list (Array.sub a 0 k)
+
+let random_connected rng ~nodes ~extra_edges ~min_cost ~max_cost ~n_targets =
+  if nodes < 2 then invalid_arg "Generators.random_connected: need >= 2 nodes";
+  if n_targets < 1 || n_targets > nodes - 1 then
+    invalid_arg "Generators.random_connected: bad target count";
+  if min_cost < 1 || max_cost < min_cost then
+    invalid_arg "Generators.random_connected: bad cost range";
+  let g = Digraph.create nodes in
+  let rand_cost () =
+    Rat.of_ints (min_cost + Random.State.int rng (max_cost - min_cost + 1)) 10
+  in
+  (* Random spanning tree: attach node i to a uniformly random earlier node. *)
+  for i = 1 to nodes - 1 do
+    let j = Random.State.int rng i in
+    Digraph.add_sym_edge g i j (rand_cost ())
+  done;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra_edges && !attempts < 50 * (extra_edges + 1) do
+    incr attempts;
+    let a = Random.State.int rng nodes and b = Random.State.int rng nodes in
+    if a <> b && not (Digraph.mem_edge g ~src:a ~dst:b) then begin
+      Digraph.add_sym_edge g a b (rand_cost ());
+      incr added
+    end
+  done;
+  let targets = sample_without_replacement rng n_targets (List.init (nodes - 1) (fun i -> i + 1)) in
+  Platform.make g ~source:0 ~targets
+
+let fork ~n_targets ~trunk_cost ~branch_cost =
+  if n_targets < 1 then invalid_arg "Generators.fork";
+  let g = Digraph.create (n_targets + 2) in
+  Digraph.set_label g 0 "Psource";
+  Digraph.set_label g 1 "relay";
+  Digraph.add_edge g ~src:0 ~dst:1 ~cost:trunk_cost;
+  for i = 2 to n_targets + 1 do
+    Digraph.add_edge g ~src:1 ~dst:i ~cost:branch_cost
+  done;
+  Platform.make g ~source:0 ~targets:(List.init n_targets (fun i -> i + 2))

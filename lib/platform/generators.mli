@@ -1,0 +1,44 @@
+(** Structured and random platform generators (non-Tiers).
+
+    All generators take an explicit PRNG state so experiments are
+    reproducible from a seed. Generated graphs use symmetric links, hence
+    are strongly connected whenever the undirected skeleton is. *)
+
+(** [star ~branches ~cost] is a source with [branches] direct targets, each
+    link costing [cost]. *)
+val star : branches:int -> cost:Rat.t -> Platform.t
+
+(** [chain ~length ~cost] is a line [source -> v1 -> ... -> v_length]; the
+    last node is the single target. *)
+val chain : length:int -> cost:Rat.t -> Platform.t
+
+(** [grid ~rows ~cols ~cost rng] is a 2-D torus-free mesh with symmetric
+    links of cost [cost], source at the top-left corner, and every other
+    node a target. *)
+val grid : rows:int -> cols:int -> cost:Rat.t -> Platform.t
+
+(** [random_connected rng ~nodes ~extra_edges ~min_cost ~max_cost ~n_targets]
+    builds a random symmetric connected graph: a uniform random spanning
+    tree plus [extra_edges] random chords; integer-grid costs are drawn
+    uniformly in [[min_cost, max_cost]] (denominator 10). The source is node
+    0; targets are drawn uniformly among the other nodes. *)
+val random_connected :
+  Random.State.t ->
+  nodes:int ->
+  extra_edges:int ->
+  min_cost:int ->
+  max_cost:int ->
+  n_targets:int ->
+  Platform.t
+
+(** [sample_without_replacement rng k pool] draws [k] distinct elements of
+    [pool] uniformly (partial Fisher–Yates). Raises [Invalid_argument] when
+    [k] exceeds the pool size. *)
+val sample_without_replacement : Random.State.t -> int -> 'a list -> 'a list
+
+(** [fork ~n_targets ~trunk_cost ~branch_cost] is the Fig. 5 tightness
+    family: [source -> relay] with cost [trunk_cost], then
+    [relay -> target_i] with cost [branch_cost] for each target. The
+    Multicast-UB/Multicast-LB period ratio on it is exactly [n_targets]
+    when [branch_cost] is negligible. *)
+val fork : n_targets:int -> trunk_cost:Rat.t -> branch_cost:Rat.t -> Platform.t

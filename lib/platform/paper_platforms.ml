@@ -1,0 +1,84 @@
+let q = Rat.of_ints
+
+let label_all g names = List.iteri (fun i s -> Digraph.set_label g i s) names
+
+(* Reconstruction of Fig. 1(a); see the interface for what is faithful and
+   what is rebuilt. Node 0 is Psource, node i is P_i. *)
+let fig1 () =
+  let g = Digraph.create 14 in
+  label_all g
+    [ "Psource"; "P1"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12"; "P13" ];
+  let e src dst cost = Digraph.add_edge g ~src ~dst ~cost in
+  e 0 1 (q 1 1);
+  e 0 3 (q 1 1);
+  e 3 2 (q 1 1);
+  e 2 1 (q 1 1);
+  e 3 4 (q 1 1);
+  e 1 4 (q 1 1);
+  e 4 5 (q 1 1);
+  e 5 6 (q 1 1);
+  e 6 7 (q 1 1);
+  e 1 11 (q 1 2);
+  (* the fast 1/5 ring of targets P7..P10 *)
+  e 7 8 (q 1 5);
+  e 8 9 (q 1 5);
+  e 9 10 (q 1 5);
+  e 10 7 (q 1 5);
+  (* the fast 1/10 ring of targets P11..P13 *)
+  e 11 12 (q 1 10);
+  e 12 13 (q 1 10);
+  e 13 11 (q 1 10);
+  Platform.make g ~source:0 ~targets:[ 7; 8; 9; 10; 11; 12; 13 ]
+
+let fig1_trees () =
+  let tree1 =
+    [
+      (0, 3); (3, 2); (2, 1); (1, 11); (3, 4); (4, 5); (5, 6); (6, 7);
+      (7, 8); (8, 9); (9, 10); (11, 12); (12, 13);
+    ]
+  in
+  let tree2 =
+    [
+      (0, 1); (1, 11); (1, 4); (4, 5); (5, 6); (6, 7);
+      (7, 8); (8, 9); (9, 10); (11, 12); (12, 13);
+    ]
+  in
+  (tree1, tree2)
+
+(* Fig. 4: the platform on which neither LP bound is tight. The instance is
+   the set-cover gadget of Fig. 2 applied to the triangle system
+   X = {1,2,3}, C = {{1,2},{2,3},{1,3}} with B = 1: its fractional cover
+   (3/2) drives Multicast-LB to throughput 2/3, its integral cover (2)
+   caps weighted tree combinations at 1/2, and the scatter bound pays all
+   three copies for throughput 1/3 — exactly the values printed in the
+   paper's caption. Source at node 0, relays C1..C3, targets X1..X3. *)
+let fig4 () =
+  let g = Digraph.create 7 in
+  label_all g [ "Psource"; "C1"; "C2"; "C3"; "X1"; "X2"; "X3" ];
+  let e src dst cost = Digraph.add_edge g ~src ~dst ~cost in
+  e 0 1 (q 1 1);
+  e 0 2 (q 1 1);
+  e 0 3 (q 1 1);
+  (* C1 = {X1, X2}, C2 = {X2, X3}, C3 = {X1, X3}; element edges cost 1/3 *)
+  e 1 4 (q 1 3);
+  e 1 5 (q 1 3);
+  e 2 5 (q 1 3);
+  e 2 6 (q 1 3);
+  e 3 4 (q 1 3);
+  e 3 6 (q 1 3);
+  Platform.make g ~source:0 ~targets:[ 4; 5; 6 ]
+
+let fig5 ~n_targets =
+  Generators.fork ~n_targets ~trunk_cost:Rat.one ~branch_cost:(q 1 (100 * n_targets))
+
+let two_relay () =
+  let g = Digraph.create 5 in
+  label_all g [ "Psource"; "A"; "B"; "T1"; "T2" ];
+  let e src dst = Digraph.add_edge g ~src ~dst ~cost:Rat.one in
+  e 0 1;
+  e 0 2;
+  e 1 3;
+  e 1 4;
+  e 2 3;
+  e 2 4;
+  Platform.make g ~source:0 ~targets:[ 3; 4 ]

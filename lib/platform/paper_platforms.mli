@@ -1,0 +1,37 @@
+(** The hand-built platforms of the paper's worked examples.
+
+    The research-report figures are not fully recoverable from the text (the
+    PDF artwork did not survive extraction), so {!fig1} and {!fig4} are
+    documented reconstructions that provably exhibit the same phenomena; the
+    test suite verifies the claimed properties with the exact LP engine and
+    the exhaustive tree search. {!fig5} and the Fig. 2 set-cover gadget (see
+    [Complexity.gadget_of_cover_instance]) follow the paper exactly. *)
+
+(** Section 3 / Fig. 1: a 14-node platform (source + P1..P13, targets
+    P7..P13) on which no single multicast tree reaches throughput 1 message
+    per time-unit, while two trees of throughput 1/2 each do. The instance
+    is a reconstruction: the bottleneck edge [P6 -> P7] of weight 1, the
+    1/5-cycle among P7..P10 and the 1/10-cycle among P11..P13 are as
+    printed; the relay wiring realizes the same single-tree impossibility
+    argument (P11 only reachable through P1, P1 fed by either the source or
+    P2). *)
+val fig1 : unit -> Platform.t
+
+(** The two multicast trees of Figs. 1(b)/1(c) (as reconstructed), each of
+    throughput 1/2, given as edge lists. *)
+val fig1_trees : unit -> (int * int) list * (int * int) list
+
+(** Section 5.1.3 / Fig. 4: a small platform on which neither LP bound is
+    tight. Identified as the Fig. 2 set-cover gadget on the triangle system
+    [{{1,2},{2,3},{1,3}}] with [B = 1]: the fractional/integral covering
+    gap yields exactly the caption's throughputs — Multicast-LB 2/3, best
+    multicast 1/2, Multicast-UB (scatter) 1/3. *)
+val fig4 : unit -> Platform.t
+
+(** Fig. 5: the tightness family — [fork] platform where the UB/LB period
+    ratio equals the number of targets. *)
+val fig5 : n_targets:int -> Platform.t
+
+(** The 5-node / 2-target example used in the README quickstart: optimal
+    throughput 1 requires two trees; any single tree is limited to 1/2. *)
+val two_relay : unit -> Platform.t

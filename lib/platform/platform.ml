@@ -1,0 +1,69 @@
+type kind = Wan | Man | Lan
+
+type t = {
+  graph : Digraph.t;
+  source : int;
+  targets : int list;
+  kinds : kind array;
+  active : bool array;
+}
+
+let make ?kinds graph ~source ~targets =
+  let n = Digraph.n_nodes graph in
+  let check v = if v < 0 || v >= n then invalid_arg "Platform.make: node out of range" in
+  check source;
+  List.iter check targets;
+  let targets = List.sort_uniq compare targets in
+  if List.mem source targets then invalid_arg "Platform.make: source cannot be a target";
+  if targets = [] then invalid_arg "Platform.make: empty target set";
+  let kinds =
+    match kinds with
+    | None -> Array.make n Lan
+    | Some k ->
+      if Array.length k <> n then invalid_arg "Platform.make: kinds size mismatch";
+      Array.copy k
+  in
+  { graph; source; targets; kinds; active = Array.make n true }
+
+let n_nodes p = Digraph.n_nodes p.graph
+let is_active p v = v >= 0 && v < n_nodes p && p.active.(v)
+
+let active_nodes p =
+  List.filter (fun v -> p.active.(v)) (List.init (n_nodes p) Fun.id)
+let is_target p v = List.mem v p.targets
+let is_source p v = v = p.source
+
+let intermediates p =
+  List.filter
+    (fun v -> p.active.(v) && (not (is_source p v)) && not (is_target p v))
+    (List.init (n_nodes p) Fun.id)
+
+let is_feasible p = Traversal.reaches_all p.graph p.source p.targets
+
+let broadcast_of p =
+  let all = List.filter (fun v -> v <> p.source) (active_nodes p) in
+  { p with targets = all }
+
+let with_targets p targets = make ~kinds:p.kinds p.graph ~source:p.source ~targets
+
+let restrict p ~keep =
+  if not (keep p.source) then invalid_arg "Platform.restrict: source must be kept";
+  let keep v = p.active.(v) && keep v in
+  let graph = Digraph.restrict p.graph ~keep in
+  let targets = List.filter keep p.targets in
+  if targets = [] then invalid_arg "Platform.restrict: no target left";
+  let active = Array.init (n_nodes p) keep in
+  { p with graph; targets; active }
+
+let remove_node p v =
+  if v = p.source then invalid_arg "Platform.remove_node: cannot remove the source";
+  restrict p ~keep:(fun w -> w <> v)
+
+let lan_nodes p = List.filter (fun v -> p.kinds.(v) = Lan) (active_nodes p)
+
+let describe p =
+  Printf.sprintf "platform: %d nodes, %d edges, source %s, %d targets"
+    (List.length (active_nodes p))
+    (Digraph.n_edges p.graph)
+    (Digraph.label p.graph p.source)
+    (List.length p.targets)

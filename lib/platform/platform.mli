@@ -1,0 +1,66 @@
+(** Multicast problem instances: a platform graph plus communication roles.
+
+    A platform is the paper's [(G, P_source, P_target)]: an edge-weighted
+    digraph, a distinguished source node holding the data, and the set of
+    destination nodes. Nodes outside both sets may forward messages. *)
+
+type kind =
+  | Wan  (** backbone router *)
+  | Man  (** metropolitan router *)
+  | Lan  (** local-area host — the pool targets are drawn from *)
+
+type t = private {
+  graph : Digraph.t;
+  source : int;
+  targets : int list; (** sorted, distinct, never contains [source] *)
+  kinds : kind array; (** per node; defaults to [Lan] *)
+  active : bool array;
+      (** node ids are stable across {!restrict}/{!remove_node}; removed
+          nodes stay in range but are inactive and edge-less *)
+}
+
+(** [make ?kinds graph ~source ~targets] validates and builds an instance:
+    node ids in range, targets distinct and distinct from the source, and at
+    least one target. Raises [Invalid_argument] otherwise. *)
+val make : ?kinds:kind array -> Digraph.t -> source:int -> targets:int list -> t
+
+val n_nodes : t -> int
+val is_target : t -> int -> bool
+val is_source : t -> int -> bool
+
+(** Active nodes that are neither source nor target (potential pure
+    forwarders — the removal candidates of REDUCED BROADCAST). *)
+val intermediates : t -> int list
+
+val is_active : t -> int -> bool
+
+(** Active node ids. *)
+val active_nodes : t -> int list
+
+(** [is_feasible p] checks that the source reaches every target. *)
+val is_feasible : t -> bool
+
+(** [broadcast_of p] is the same platform with every {e active} non-source
+    node as a target — the broadcast instance used by the Broadcast-EB
+    heuristics. *)
+val broadcast_of : t -> t
+
+(** [with_targets p targets] replaces the target set (same graph/source). *)
+val with_targets : t -> int list -> t
+
+(** [remove_node p v] restricts the platform to all nodes but [v], keeping
+    ids stable (the REDUCED BROADCAST step). Raises [Invalid_argument] if
+    [v] is the source. Removing a target also removes it from the target
+    set. *)
+val remove_node : t -> int -> t
+
+(** [restrict p ~keep] keeps exactly the nodes satisfying [keep]; the source
+    must be kept. Targets outside [keep] are dropped from the target set. *)
+val restrict : t -> keep:(int -> bool) -> t
+
+(** Active nodes of kind [Lan] (the target-selection pool of the
+    experiments). *)
+val lan_nodes : t -> int list
+
+(** Human-readable one-line description. *)
+val describe : t -> string

@@ -1,0 +1,100 @@
+let to_string (p : Platform.t) =
+  let buf = Buffer.create 1024 in
+  let g = p.Platform.graph in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Digraph.n_nodes g));
+  Buffer.add_string buf (Printf.sprintf "source %d\n" p.Platform.source);
+  Buffer.add_string buf
+    ("targets " ^ String.concat " " (List.map string_of_int p.Platform.targets) ^ "\n");
+  for v = 0 to Digraph.n_nodes g - 1 do
+    Buffer.add_string buf (Printf.sprintf "label %d %s\n" v (Digraph.label g v))
+  done;
+  Digraph.iter_edges
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %d %d %s\n" e.Digraph.src e.Digraph.dst (Rat.to_string e.Digraph.cost)))
+    g;
+  Buffer.contents buf
+
+type parse_state = {
+  mutable nodes : int option;
+  mutable source : int option;
+  mutable targets : int list option;
+  mutable labels : (int * string) list;
+  mutable edges : (int * int * Rat.t) list;
+}
+
+let of_string s =
+  let st = { nodes = None; source = None; targets = None; labels = []; edges = [] } in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines = String.split_on_char '\n' s in
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok ()
+    else
+      match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+      | [ "nodes"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+          st.nodes <- Some n;
+          Ok ()
+        | _ -> err "line %d: bad node count" lineno)
+      | [ "source"; v ] -> (
+        match int_of_string_opt v with
+        | Some v ->
+          st.source <- Some v;
+          Ok ()
+        | None -> err "line %d: bad source" lineno)
+      | "targets" :: rest -> (
+        match List.map int_of_string_opt rest with
+        | ts when List.for_all Option.is_some ts ->
+          st.targets <- Some (List.map Option.get ts);
+          Ok ()
+        | _ -> err "line %d: bad targets" lineno)
+      | [ "label"; v; name ] -> (
+        match int_of_string_opt v with
+        | Some v ->
+          st.labels <- (v, name) :: st.labels;
+          Ok ()
+        | None -> err "line %d: bad label" lineno)
+      | [ "edge"; u; v; c ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v -> (
+          match Rat.of_string c with
+          | cost ->
+            st.edges <- (u, v, cost) :: st.edges;
+            Ok ()
+          | exception _ -> err "line %d: bad cost %s" lineno c)
+        | _ -> err "line %d: bad edge endpoints" lineno)
+      | _ -> err "line %d: unknown directive: %s" lineno line
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | l :: rest -> (
+      match parse_line lineno l with
+      | Ok () -> go (lineno + 1) rest
+      | Error _ as e -> e)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+    match (st.nodes, st.source, st.targets) with
+    | None, _, _ -> Error "missing 'nodes' directive"
+    | _, None, _ -> Error "missing 'source' directive"
+    | _, _, None -> Error "missing 'targets' directive"
+    | Some n, Some source, Some targets -> (
+      try
+        let g = Digraph.create n in
+        List.iter (fun (v, name) -> Digraph.set_label g v name) (List.rev st.labels);
+        List.iter (fun (u, v, cost) -> Digraph.add_edge g ~src:u ~dst:v ~cost) (List.rev st.edges);
+        Ok (Platform.make g ~source ~targets)
+      with Invalid_argument m -> Error m))
+
+let save path p =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string p))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,98 @@
+type params = {
+  wan_nodes : int;
+  man_count : int;
+  man_size : int;
+  lan_hosts : int;
+  redundancy : int;
+  wan_cost : int * int;
+  man_cost : int * int;
+  lan_cost : int * int;
+}
+
+let small_params =
+  {
+    wan_nodes = 5;
+    man_count = 4;
+    man_size = 2;
+    lan_hosts = 17;
+    redundancy = 3;
+    wan_cost = (300, 1000);
+    man_cost = (100, 300);
+    lan_cost = (10, 100);
+  }
+
+let big_params =
+  {
+    wan_nodes = 6;
+    man_count = 6;
+    man_size = 2;
+    lan_hosts = 47;
+    redundancy = 5;
+    wan_cost = (300, 1000);
+    man_cost = (100, 300);
+    lan_cost = (10, 100);
+  }
+
+let node_count p = p.wan_nodes + (p.man_count * p.man_size) + p.lan_hosts
+
+let rand_cost rng (lo, hi) = Rat.of_ints (lo + Random.State.int rng (hi - lo + 1)) 10
+
+let generate rng p ~n_targets =
+  if p.wan_nodes < 1 || p.man_count < 1 || p.man_size < 1 then
+    invalid_arg "Tiers.generate: bad shape";
+  if n_targets < 1 || n_targets > p.lan_hosts then
+    invalid_arg "Tiers.generate: bad target count";
+  let n = node_count p in
+  let g = Digraph.create n in
+  let kinds = Array.make n Platform.Lan in
+  (* Node layout: WAN routers first, then MAN routers, then LAN hosts. *)
+  let wan i = i in
+  let man m k = p.wan_nodes + (m * p.man_size) + k in
+  let hosts_start = p.wan_nodes + (p.man_count * p.man_size) in
+  for i = 0 to p.wan_nodes - 1 do
+    kinds.(wan i) <- Platform.Wan;
+    Digraph.set_label g (wan i) (Printf.sprintf "wan%d" i)
+  done;
+  for m = 0 to p.man_count - 1 do
+    for k = 0 to p.man_size - 1 do
+      kinds.(man m k) <- Platform.Man;
+      Digraph.set_label g (man m k) (Printf.sprintf "man%d_%d" m k)
+    done
+  done;
+  for h = 0 to p.lan_hosts - 1 do
+    Digraph.set_label g (hosts_start + h) (Printf.sprintf "host%d" h)
+  done;
+  (* WAN backbone: random tree over the routers. *)
+  for i = 1 to p.wan_nodes - 1 do
+    let j = Random.State.int rng i in
+    Digraph.add_sym_edge g (wan i) (wan j) (rand_cost rng p.wan_cost)
+  done;
+  (* Each MAN is a path of routers, hooked to a random WAN router. *)
+  for m = 0 to p.man_count - 1 do
+    for k = 1 to p.man_size - 1 do
+      Digraph.add_sym_edge g (man m k) (man m (k - 1)) (rand_cost rng p.man_cost)
+    done;
+    let w = Random.State.int rng p.wan_nodes in
+    Digraph.add_sym_edge g (man m 0) (wan w) (rand_cost rng p.man_cost)
+  done;
+  (* LAN hosts: each host hangs off a random MAN router (star links). *)
+  for h = 0 to p.lan_hosts - 1 do
+    let m = Random.State.int rng p.man_count in
+    let k = Random.State.int rng p.man_size in
+    Digraph.add_sym_edge g (hosts_start + h) (man m k) (rand_cost rng p.lan_cost)
+  done;
+  (* Redundancy: extra chords between random routers (multi-homing). *)
+  let routers = p.wan_nodes + (p.man_count * p.man_size) in
+  let added = ref 0 and attempts = ref 0 in
+  while !added < p.redundancy && !attempts < 50 * (p.redundancy + 1) do
+    incr attempts;
+    let a = Random.State.int rng routers and b = Random.State.int rng routers in
+    if a <> b && not (Digraph.mem_edge g ~src:a ~dst:b) then begin
+      Digraph.add_sym_edge g a b (rand_cost rng p.wan_cost);
+      incr added
+    end
+  done;
+  let source = Random.State.int rng p.wan_nodes in
+  let all_hosts = List.init p.lan_hosts (fun h -> hosts_start + h) in
+  let targets = Generators.sample_without_replacement rng n_targets all_hosts in
+  Platform.make ~kinds g ~source ~targets

@@ -1,0 +1,38 @@
+(** Tiers-like hierarchical topology generator.
+
+    The paper evaluates its heuristics on "realistic" topologies produced by
+    the Tiers generator of Calvert, Doar and Zegura. This module reproduces
+    the qualitative structure that matters for those experiments: a slow WAN
+    backbone, MAN rings hanging off WAN routers, and fast LANs of hosts
+    hanging off MAN routers. Targets are drawn from LAN hosts, as in the
+    paper (17 LAN hosts in the "small" 30-node platforms, 47 in the "big"
+    65-node ones).
+
+    Links are symmetric; per-level costs are drawn uniformly from integer
+    grids (denominator 10) and differ by roughly an order of magnitude
+    between levels, modelling heterogeneous link speeds. *)
+
+type params = {
+  wan_nodes : int; (** backbone routers *)
+  man_count : int; (** number of MANs *)
+  man_size : int; (** routers per MAN *)
+  lan_hosts : int; (** total LAN hosts, spread over the MAN routers *)
+  redundancy : int; (** extra random chords at WAN/MAN level *)
+  wan_cost : int * int; (** inclusive cost range x10 for WAN links *)
+  man_cost : int * int;
+  lan_cost : int * int;
+}
+
+(** 30 nodes: 5 WAN + 8 MAN + 17 LAN hosts — the paper's "small" class. *)
+val small_params : params
+
+(** 65 nodes: 6 WAN + 12 MAN + 47 LAN hosts — the paper's "big" class. *)
+val big_params : params
+
+(** [generate rng params ~n_targets] builds a platform: the source is a
+    random WAN router and targets are drawn uniformly among LAN hosts.
+    Raises [Invalid_argument] when [n_targets] exceeds [params.lan_hosts]. *)
+val generate : Random.State.t -> params -> n_targets:int -> Platform.t
+
+(** Number of nodes a parameter set produces. *)
+val node_count : params -> int

@@ -1,0 +1,54 @@
+type t = {
+  problem : Prefix_problem.t;
+  cover : Set_cover.t;
+  bound : int;
+  ps : int;
+  subset_node : int array;
+  x_node : int array;
+  x'_node : int array;
+}
+
+let u ~n j =
+  if j < 1 || j > n then invalid_arg "Prefix_gadget.u";
+  Rat.sub (Rat.of_ints 1 j) (Rat.of_ints 1 (n + 1))
+
+let v ~n i =
+  if i < 1 || i >= n then invalid_arg "Prefix_gadget.v";
+  Rat.add (Rat.of_ints 1 (i + 1)) (Rat.make Zint.one (Zint.of_int ((n + 1) * i)))
+
+let build (cover : Set_cover.t) ~bound =
+  let k = Array.length cover.Set_cover.sets in
+  let n = cover.Set_cover.universe in
+  if bound < 1 || bound > k then invalid_arg "Prefix_gadget.build: bad bound";
+  let g = Digraph.create (1 + k + (2 * n)) in
+  let ps = 0 in
+  let subset_node = Array.init k (fun i -> 1 + i) in
+  let x_node = Array.init n (fun j -> 1 + k + j) in
+  let x'_node = Array.init n (fun j -> 1 + k + n + j) in
+  Digraph.set_label g ps "Ps";
+  Array.iteri (fun i v -> Digraph.set_label g v (Printf.sprintf "C%d" (i + 1))) subset_node;
+  Array.iteri (fun j w -> Digraph.set_label g w (Printf.sprintf "X%d" (j + 1))) x_node;
+  Array.iteri (fun j w -> Digraph.set_label g w (Printf.sprintf "X'%d" (j + 1))) x'_node;
+  let bcost = Rat.of_ints 1 bound and ncost = Rat.of_ints 1 n in
+  Array.iter (fun c -> Digraph.add_edge g ~src:ps ~dst:c ~cost:bcost) subset_node;
+  Array.iteri
+    (fun i s ->
+      List.iter
+        (fun j -> Digraph.add_edge g ~src:subset_node.(i) ~dst:x_node.(j) ~cost:ncost)
+        s)
+    cover.Set_cover.sets;
+  for j = 1 to n do
+    Digraph.add_edge g ~src:x_node.(j - 1) ~dst:x'_node.(j - 1) ~cost:(u ~n j)
+  done;
+  for i = 1 to n - 1 do
+    Digraph.add_edge g ~src:x'_node.(i - 1) ~dst:x'_node.(i) ~cost:(v ~n i)
+  done;
+  let members = Array.append [| ps |] x'_node in
+  let member_set = Array.to_list members in
+  let problem =
+    Prefix_problem.make g ~members ~f:Prefix_problem.unit_sizes
+      ~g:Prefix_problem.unit_tasks
+      ~w:(fun node ->
+        if List.mem node member_set then Some (Rat.of_ints 1 n) else None)
+  in
+  { problem; cover; bound; ps; subset_node; x_node; x'_node }

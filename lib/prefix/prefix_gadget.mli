@@ -1,0 +1,33 @@
+(** The Fig. 3 gadget of Theorem 5: MINIMUM-SET-COVER → COMPACT-PREFIX.
+
+    From a cover instance [(X, C, B)] with [N] elements, build the platform
+    of Fig. 3: a source [Ps] (holding [x0]) wired through the subset relays
+    [C_i] (edge cost [1/B]) to element nodes [X_j] (cost [1/N]), each
+    forwarding to the prefix processor [X'_j] over an edge of cost
+    [u_j = 1/j - 1/(N+1)]; consecutive prefix processors are chained with
+    cost [v_i = 1/(i+1) + 1/((N+1) i)]. The participating processors are
+    [P = {Ps, X'_1 .. X'_N}] with computing power [w = 1/N]; data sizes are
+    [f(k,m) = m-k+1] and task weights [g ≡ 1].
+
+    A pipelined prefix of throughput 1 with a single allocation scheme
+    exists iff the cover instance has a cover of size at most [B]. *)
+
+type t = {
+  problem : Prefix_problem.t;
+  cover : Set_cover.t;
+  bound : int;
+  ps : int; (** node id of [Ps] = prefix processor [P_0] *)
+  subset_node : int array; (** node ids of the [C_i] *)
+  x_node : int array; (** node ids of the [X_j], 0-based *)
+  x'_node : int array; (** node ids of the [X'_j] = prefix processor [P_{j+1}] *)
+}
+
+(** [build cover ~bound] constructs the gadget.
+    Raises [Invalid_argument] when [bound] is out of [1 .. |C|]. *)
+val build : Set_cover.t -> bound:int -> t
+
+(** The [u_j] edge cost (1-based [j]). *)
+val u : n:int -> int -> Rat.t
+
+(** The [v_i] edge cost (1-based [i]). *)
+val v : n:int -> int -> Rat.t

@@ -1,0 +1,22 @@
+type t = {
+  graph : Digraph.t;
+  members : int array;
+  f : int -> int -> Rat.t;
+  g : int -> int -> int -> Rat.t;
+  w : int -> Rat.t option;
+}
+
+let make graph ~members ~f ~g ~w =
+  let n = Digraph.n_nodes graph in
+  Array.iter
+    (fun v -> if v < 0 || v >= n then invalid_arg "Prefix_problem.make: member out of range")
+    members;
+  let sorted = List.sort_uniq compare (Array.to_list members) in
+  if List.length sorted <> Array.length members then
+    invalid_arg "Prefix_problem.make: duplicate members";
+  if Array.length members < 2 then invalid_arg "Prefix_problem.make: need at least P0, P1";
+  { graph; members; f; g; w }
+
+let order t = Array.length t.members
+let unit_sizes k m = Rat.of_int (m - k + 1)
+let unit_tasks _ _ _ = Rat.one

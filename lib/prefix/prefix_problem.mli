@@ -1,0 +1,38 @@
+(** Pipelined parallel-prefix instances (§4.2).
+
+    Processors [P0 .. PN] hold values [x0 .. xN]; each [Pi] must end up
+    with [y_i = x0 ⊕ ... ⊕ x_i] for an associative, non-commutative ⊕.
+    The platform/application instance [(G, P, f, g, w)] extends the
+    multicast platform with data sizes and computation costs:
+
+    - [f (k, m)] is the size of the partial result [[k, m]] — sending it
+      over edge [(i, j)] costs [f (k, m) * c_ij] time;
+    - every task [T_klm] (reducing [[k, l] ⊕ [l+1, m]]) has weight
+      [g (k, l, m)], and processor [P] needs [g (k, l, m) * w P] time to run
+      it ([w P = infinity] marks non-computing forwarders). *)
+
+type t = {
+  graph : Digraph.t;
+  members : int array; (** members.(i) is the node acting as [P_i] *)
+  f : int -> int -> Rat.t; (** [f k m]: size of the partial result [[k,m]] *)
+  g : int -> int -> int -> Rat.t; (** task weight [g k l m] *)
+  w : int -> Rat.t option; (** per-node time per unit task; [None] = cannot compute *)
+}
+
+(** [make graph ~members ~f ~g ~w] validates member ids.
+    Raises [Invalid_argument] on out-of-range or duplicate members. *)
+val make :
+  Digraph.t ->
+  members:int array ->
+  f:(int -> int -> Rat.t) ->
+  g:(int -> int -> int -> Rat.t) ->
+  w:(int -> Rat.t option) ->
+  t
+
+(** Number of participating processors ([N + 1]). *)
+val order : t -> int
+
+(** The paper's gadget conventions: [f (k, m) = m - k + 1] and [g ≡ 1]. *)
+val unit_sizes : int -> int -> Rat.t
+
+val unit_tasks : int -> int -> int -> Rat.t

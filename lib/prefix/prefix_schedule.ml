@@ -1,0 +1,68 @@
+type occupations = {
+  send : (int * Rat.t) list;
+  recv : (int * Rat.t) list;
+  compute : (int * Rat.t) list;
+}
+
+let scheme_of_cover (gadget : Prefix_gadget.t) ~chosen =
+  let cover = gadget.Prefix_gadget.cover in
+  let k = Array.length cover.Set_cover.sets in
+  let n = cover.Set_cover.universe in
+  if List.exists (fun i -> i < 0 || i >= k) chosen then Error "subset index out of range"
+  else if not (Set_cover.is_cover cover chosen) then Error "chosen subsets do not cover X"
+  else begin
+    let chosen = List.sort_uniq compare chosen in
+    let b = gadget.Prefix_gadget.bound in
+    (* Leftmost-covering rule: element j is served by the first chosen
+       subset containing it (proof of Theorem 5, as in Theorem 1). *)
+    let served_by =
+      Array.init n (fun j -> List.find (fun i -> List.mem j cover.Set_cover.sets.(i)) chosen)
+    in
+    let sends = Hashtbl.create 16 and recvs = Hashtbl.create 16 and comps = Hashtbl.create 16 in
+    let bump tbl node x =
+      Hashtbl.replace tbl node (Rat.add x (Option.value ~default:Rat.zero (Hashtbl.find_opt tbl node)))
+    in
+    let ps = gadget.Prefix_gadget.ps in
+    let cnode = gadget.Prefix_gadget.subset_node in
+    let xnode = gadget.Prefix_gadget.x_node in
+    let x'node = gadget.Prefix_gadget.x'_node in
+    (* Ps -> each chosen C_i: one [0,0] of size 1 over a 1/B edge. *)
+    List.iter
+      (fun i ->
+        bump sends ps (Rat.of_ints 1 b);
+        bump recvs cnode.(i) (Rat.of_ints 1 b))
+      chosen;
+    (* C_i -> the elements it serves: size 1 over 1/N edges. *)
+    Array.iteri
+      (fun j i ->
+        bump sends cnode.(i) (Rat.of_ints 1 n);
+        bump recvs xnode.(j) (Rat.of_ints 1 n))
+      served_by;
+    (* X_j -> X'_j: one [0,0] over the u_j edge (1-based j). *)
+    for j = 1 to n do
+      let c = Prefix_gadget.u ~n j in
+      bump sends xnode.(j - 1) c;
+      bump recvs x'node.(j - 1) c
+    done;
+    (* X'_i -> X'_{i+1}: the i single values [1,1] .. [i,i], each of size 1,
+       over the v_i edge. *)
+    for i = 1 to n - 1 do
+      let c = Prefix_gadget.v ~n i in
+      let total = Rat.mul (Rat.of_int i) c in
+      bump sends x'node.(i - 1) total;
+      bump recvs x'node.(i) total
+    done;
+    (* Compute: X'_i runs the i unit tasks of y_i at speed w = 1/N. *)
+    for i = 1 to n do
+      bump comps x'node.(i - 1) (Rat.of_ints i n)
+    done;
+    let dump tbl = Hashtbl.fold (fun node x acc -> (node, x) :: acc) tbl [] in
+    Ok { send = dump sends; recv = dump recvs; compute = dump comps }
+  end
+
+let max_occupation occ =
+  let fold = List.fold_left (fun acc (_, x) -> Rat.max acc x) in
+  fold (fold (fold Rat.zero occ.send) occ.recv) occ.compute
+
+let is_feasible occ = Rat.(max_occupation occ <= one)
+let throughput occ = Rat.inv (max_occupation occ)

@@ -1,0 +1,31 @@
+(** Prefix allocation schemes on the Fig. 3 gadget (forward direction of
+    Theorem 5).
+
+    Given a cover [C'], the proof's single allocation scheme pushes [x0]
+    through the chosen subsets to every element node, across to the prefix
+    processors, and chains the partial values [[1,1] .. [i,i]] down the
+    [X'] spine while each [X'_i] reduces its own prefix. The scheme
+    sustains one parallel-prefix operation per time unit iff every port and
+    compute occupation stays within one time unit — which happens exactly
+    when [C'] is a cover of size at most [B]. *)
+
+type occupations = {
+  send : (int * Rat.t) list; (** per node, time spent sending per period *)
+  recv : (int * Rat.t) list;
+  compute : (int * Rat.t) list;
+}
+
+(** [scheme_of_cover gadget ~chosen] computes the occupations of the
+    proof's scheme for the chosen subset indices. Returns [Error _] when
+    [chosen] is not a cover (some element never receives [x0]). *)
+val scheme_of_cover : Prefix_gadget.t -> chosen:int list -> (occupations, string) Result.t
+
+(** Largest occupation across all ports and compute units; the scheme is
+    feasible at throughput 1 iff this is at most 1. *)
+val max_occupation : occupations -> Rat.t
+
+val is_feasible : occupations -> bool
+
+(** [throughput occ] is [1 / max_occupation] — the steady-state rate the
+    scheme sustains when pipelined. *)
+val throughput : occupations -> Rat.t

@@ -1,0 +1,251 @@
+(* Little-endian base-2^24 digit arrays, no leading zero digit.
+   Base 2^24 keeps schoolbook-multiplication accumulators well inside the
+   63-bit native int range: a column sum of k digit products is bounded by
+   k * (2^24 - 1)^2 < k * 2^48, safe for k < 2^14 digits (~100k bits). *)
+
+let base_bits = 24
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero n = Array.length n = 0
+
+let normalize (a : int array) : t =
+  let len = ref (Array.length a) in
+  while !len > 0 && a.(!len - 1) = 0 do
+    decr len
+  done;
+  if !len = Array.length a then a else Array.sub a 0 !len
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc n = if n = 0 then acc else count (acc + 1) (n lsr base_bits) in
+    let len = count 0 n in
+    let a = Array.make len 0 in
+    let rec fill i n =
+      if n <> 0 then begin
+        a.(i) <- n land base_mask;
+        fill (i + 1) (n lsr base_bits)
+      end
+    in
+    fill 0 n;
+    a
+  end
+
+let to_int n =
+  (* An OCaml int holds 62 value bits; three digits (72 bits) may overflow. *)
+  let len = Array.length n in
+  if len = 0 then Some 0
+  else if len = 1 then Some n.(0)
+  else if len = 2 then Some (n.(0) lor (n.(1) lsl base_bits))
+  else if len = 3 && n.(2) < 1 lsl (Sys.int_size - 1 - (2 * base_bits)) then
+    Some (n.(0) lor (n.(1) lsl base_bits) lor (n.(2) lsl (2 * base_bits)))
+  else None
+
+let to_float n =
+  let acc = ref 0.0 in
+  for i = Array.length n - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int n.(i)
+  done;
+  !acc
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = max la lb in
+  let r = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(lmax) <- !carry;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: underflow";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      (* Propagate the remaining carry, which may itself span digits. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land base_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let bits n =
+  let len = Array.length n in
+  if len = 0 then 0
+  else begin
+    let top = n.(len - 1) in
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    ((len - 1) * base_bits) + width 0 top
+  end
+
+let shift_left n k =
+  if k < 0 then invalid_arg "Nat.shift_left";
+  if is_zero n || k = 0 then n
+  else begin
+    let digit_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length n in
+    let r = Array.make (la + digit_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = n.(i) lsl bit_shift in
+      r.(i + digit_shift) <- r.(i + digit_shift) lor (v land base_mask);
+      r.(i + digit_shift + 1) <- v lsr base_bits
+    done;
+    normalize r
+  end
+
+let shift_right n k =
+  if k < 0 then invalid_arg "Nat.shift_right";
+  if is_zero n || k = 0 then n
+  else begin
+    let digit_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length n in
+    if digit_shift >= la then zero
+    else begin
+      let lr = la - digit_shift in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = n.(i + digit_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + digit_shift + 1 >= la then 0
+          else (n.(i + digit_shift + 1) lsl (base_bits - bit_shift)) land base_mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Long division: shift-and-subtract on bit positions. Quadratic but fully
+   adequate for the digit counts arising from LP tableaux on our platforms. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    match (to_int a, to_int b) with
+    | Some ia, Some ib -> (of_int (ia / ib), of_int (ia mod ib))
+    | _ ->
+      let shift = bits a - bits b in
+      let q = Array.make (shift / base_bits + 1) 0 in
+      let r = ref a in
+      for k = shift downto 0 do
+        let d = shift_left b k in
+        if compare d !r <= 0 then begin
+          r := sub !r d;
+          q.(k / base_bits) <- q.(k / base_bits) lor (1 lsl (k mod base_bits))
+        end
+      done;
+      (normalize q, !r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else mul (div a (gcd a b)) b
+
+let pow b e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let ten = of_int 10
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Nat.of_string: not a digit";
+      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let to_string n =
+  if is_zero n then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let chunk = of_int 1_000_000_000 in
+    let rec go n =
+      if is_zero n then ()
+      else begin
+        let q, r = divmod n chunk in
+        let r = match to_int r with Some i -> i | None -> assert false in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go n;
+    Buffer.contents buf
+  end
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)

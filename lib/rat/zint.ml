@@ -1,0 +1,69 @@
+(* Sign-magnitude over Nat; the invariant is [mag = Nat.zero => sg = 0]. *)
+
+type t = { sg : int; mag : Nat.t }
+
+let make sg mag = if Nat.is_zero mag then { sg = 0; mag = Nat.zero } else { sg; mag }
+
+let zero = { sg = 0; mag = Nat.zero }
+let one = { sg = 1; mag = Nat.one }
+let minus_one = { sg = -1; mag = Nat.one }
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sg = 1; mag = Nat.of_int n }
+  else { sg = -1; mag = Nat.of_int (-n) }
+
+let to_int n =
+  match Nat.to_int n.mag with
+  | Some i -> Some (n.sg * i)
+  | None -> None
+
+let to_float n = float_of_int n.sg *. Nat.to_float n.mag
+let of_nat mag = make 1 mag
+let abs_nat n = n.mag
+let sign n = n.sg
+let is_zero n = n.sg = 0
+let equal a b = a.sg = b.sg && Nat.equal a.mag b.mag
+
+let compare a b =
+  if a.sg <> b.sg then Stdlib.compare a.sg b.sg
+  else if a.sg >= 0 then Nat.compare a.mag b.mag
+  else Nat.compare b.mag a.mag
+
+let neg n = make (-n.sg) n.mag
+let abs n = make (Stdlib.abs n.sg) n.mag
+
+let add a b =
+  if a.sg = 0 then b
+  else if b.sg = 0 then a
+  else if a.sg = b.sg then { sg = a.sg; mag = Nat.add a.mag b.mag }
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sg (Nat.sub a.mag b.mag)
+    else make b.sg (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = make (a.sg * b.sg) (Nat.mul a.mag b.mag)
+
+let ediv_rem a b =
+  if b.sg = 0 then raise Division_by_zero;
+  let q, r = Nat.divmod a.mag b.mag in
+  if a.sg >= 0 then (make b.sg q, make 1 r)
+  else if Nat.is_zero r then (make (-b.sg) q, zero)
+  else (make (-b.sg) (Nat.add q Nat.one), make 1 (Nat.sub b.mag r))
+
+let gcd a b = make 1 (Nat.gcd a.mag b.mag)
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    make (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else if String.length s > 0 && s.[0] = '+' then
+    make 1 (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else make 1 (Nat.of_string s)
+
+let to_string n =
+  if n.sg < 0 then "-" ^ Nat.to_string n.mag else Nat.to_string n.mag
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)

@@ -1,0 +1,117 @@
+(* Chu–Liu/Edmonds by recursive cycle contraction. Each recursion level
+   works on edges carrying the payload of the level below; payloads at the
+   top level are indices into the caller's edge array. *)
+
+type edge = { u : int; v : int; w : Rat.t; payload : int }
+
+let rec solve n root edges =
+  (* Cheapest incoming edge per non-root node. *)
+  let inc = Array.make n None in
+  List.iter
+    (fun e ->
+      if e.v <> root && e.u <> e.v then
+        match inc.(e.v) with
+        | None -> inc.(e.v) <- Some e
+        | Some b -> if Rat.(e.w < b.w) then inc.(e.v) <- Some e)
+    edges;
+  let missing = ref false in
+  for v = 0 to n - 1 do
+    if v <> root && inc.(v) = None then missing := true
+  done;
+  if !missing then None
+  else begin
+    (* Detect cycles in the functional graph v -> inc(v).u with colours:
+       0 unvisited, 1 on current walk, 2 done. *)
+    let colour = Array.make n 0 in
+    let cycle_id = Array.make n (-1) in
+    let n_cycles = ref 0 in
+    colour.(root) <- 2;
+    for start = 0 to n - 1 do
+      if colour.(start) = 0 then begin
+        let rec walk v path =
+          if colour.(v) = 0 then begin
+            colour.(v) <- 1;
+            walk (Option.get inc.(v)).u (v :: path)
+          end
+          else begin
+            if colour.(v) = 1 then begin
+              (* New cycle: the path prefix down to [v] inclusive. *)
+              let id = !n_cycles in
+              incr n_cycles;
+              let rec mark = function
+                | [] -> ()
+                | u :: rest ->
+                  cycle_id.(u) <- id;
+                  if u <> v then mark rest
+              in
+              mark path
+            end;
+            List.iter (fun u -> colour.(u) <- 2) path
+          end
+        in
+        walk start []
+      end
+    done;
+    if !n_cycles = 0 then
+      Some
+        (List.filter_map
+           (fun v -> Option.map (fun e -> e.payload) inc.(v))
+           (List.init n Fun.id))
+    else begin
+      (* Contract: cycles become supernodes 0 .. n_cycles-1; the remaining
+         nodes follow. *)
+      let label = Array.make n (-1) in
+      let next = ref !n_cycles in
+      for v = 0 to n - 1 do
+        if cycle_id.(v) >= 0 then label.(v) <- cycle_id.(v)
+        else begin
+          label.(v) <- !next;
+          incr next
+        end
+      done;
+      let n' = !next in
+      let table = ref [] in
+      let fresh = ref 0 in
+      let edges' =
+        List.filter_map
+          (fun e ->
+            let lu = label.(e.u) and lv = label.(e.v) in
+            if lu = lv then None
+            else begin
+              let w =
+                if cycle_id.(e.v) >= 0 then Rat.sub e.w (Option.get inc.(e.v)).w else e.w
+              in
+              let payload = !fresh in
+              incr fresh;
+              table := (payload, e) :: !table;
+              Some { u = lu; v = lv; w; payload }
+            end)
+          edges
+      in
+      match solve n' label.(root) edges' with
+      | None -> None
+      | Some chosen' ->
+        let chosen = List.map (fun p -> List.assoc p !table) chosen' in
+        (* For each cycle, the chosen edge entering it decides which cycle
+           edge is dropped (the one into the same head). *)
+        let entered_head = Array.make !n_cycles (-1) in
+        List.iter
+          (fun e -> if cycle_id.(e.v) >= 0 then entered_head.(cycle_id.(e.v)) <- e.v)
+          chosen;
+        let cycle_edges = ref [] in
+        for v = 0 to n - 1 do
+          if cycle_id.(v) >= 0 && entered_head.(cycle_id.(v)) <> v then
+            cycle_edges := (Option.get inc.(v)).payload :: !cycle_edges
+        done;
+        Some (List.map (fun e -> e.payload) chosen @ !cycle_edges)
+    end
+  end
+
+let minimum ~n ~root edges =
+  if root < 0 || root >= n then invalid_arg "Arborescence.minimum: bad root";
+  let arr = Array.of_list edges in
+  let recs = List.mapi (fun i (u, v, w) -> { u; v; w; payload = i }) edges in
+  match solve n root recs with
+  | None -> None
+  | Some payloads ->
+    Some (List.map (fun i -> let u, v, _ = arr.(i) in (u, v)) payloads)

@@ -1,0 +1,13 @@
+(** Minimum-weight spanning arborescence (Chu–Liu/Edmonds).
+
+    Substrate for the distance-network (KMB) Steiner heuristic on directed
+    graphs: the classical undirected KMB computes a minimum spanning tree of
+    the metric closure; on digraphs the right object is a minimum spanning
+    arborescence rooted at the multicast source. *)
+
+(** [minimum ~n ~root edges] returns, for the weighted digraph on nodes
+    [0 .. n-1] given as [(src, dst, weight)] triples, a minimum-total-weight
+    set of edges forming an out-arborescence rooted at [root] and spanning
+    all nodes, or [None] when some node is unreachable from [root].
+    Parallel edges are allowed (cheapest wins). *)
+val minimum : n:int -> root:int -> (int * int * Rat.t) list -> (int * int) list option

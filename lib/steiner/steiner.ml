@@ -1,0 +1,115 @@
+let steiner_cost g t =
+  List.fold_left
+    (fun acc (u, v) -> Rat.add acc (Digraph.cost g ~src:u ~dst:v))
+    Rat.zero (Out_tree.edges t)
+
+let finish (p : Platform.t) edges =
+  match Out_tree.of_edges ~n:(Platform.n_nodes p) ~root:p.Platform.source edges with
+  | Error e -> invalid_arg ("Steiner: internal tree construction failed: " ^ e)
+  | Ok t ->
+    let t = Out_tree.prune t ~keep:(Platform.is_target p) in
+    if Out_tree.covers t p.Platform.targets then Some t else None
+
+let minimum_cost_path_tree (p : Platform.t) =
+  let g = p.Platform.graph in
+  let in_tree = Array.make (Platform.n_nodes p) false in
+  in_tree.(p.Platform.source) <- true;
+  let edges = ref [] in
+  let rec grow remaining =
+    match remaining with
+    | [] -> finish p !edges
+    | _ ->
+      let tree_nodes =
+        List.filter (fun v -> in_tree.(v)) (List.init (Platform.n_nodes p) Fun.id)
+      in
+      let r = Paths.dijkstra g ~sources:tree_nodes in
+      (* Closest remaining target, by additive distance from the tree. *)
+      let best =
+        List.fold_left
+          (fun acc t ->
+            match r.Paths.dist.(t) with
+            | None -> acc
+            | Some d -> (
+              match acc with
+              | Some (_, bd) when Rat.(bd <= d) -> acc
+              | _ -> Some (t, d)))
+          None remaining
+      in
+      (match best with
+      | None -> None (* some target unreachable *)
+      | Some (t, _) ->
+        let path = Option.get (Paths.extract_path r t) in
+        List.iter
+          (fun (u, v) ->
+            if not in_tree.(v) then begin
+              edges := (u, v) :: !edges;
+              in_tree.(v) <- true
+            end)
+          (Paths.path_edges path);
+        grow (List.filter (fun x -> x <> t) remaining))
+  in
+  grow (List.filter (fun t -> not in_tree.(t)) p.Platform.targets)
+
+let pruned_dijkstra_tree (p : Platform.t) =
+  let r = Paths.dijkstra p.Platform.graph ~sources:[ p.Platform.source ] in
+  let edges = ref [] in
+  let ok =
+    List.for_all
+      (fun t ->
+        match Paths.extract_path r t with
+        | None -> false
+        | Some path ->
+          List.iter (fun e -> if not (List.mem e !edges) then edges := e :: !edges)
+            (Paths.path_edges path);
+          true)
+      p.Platform.targets
+  in
+  if ok then finish p !edges else None
+
+let kmb_tree (p : Platform.t) =
+  let g = p.Platform.graph in
+  let terminals = Array.of_list (p.Platform.source :: p.Platform.targets) in
+  let k = Array.length terminals in
+  let results = Array.map (fun t -> Paths.dijkstra g ~sources:[ t ]) terminals in
+  (* Metric closure between terminals. *)
+  let closure = ref [] in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j then
+        match results.(i).Paths.dist.(terminals.(j)) with
+        | Some d -> closure := (i, j, d) :: !closure
+        | None -> ()
+    done
+  done;
+  match Arborescence.minimum ~n:k ~root:0 !closure with
+  | None -> None
+  | Some arbo ->
+    (* Expand closure edges into real paths and take the union subgraph. *)
+    let union = ref [] in
+    List.iter
+      (fun (i, j) ->
+        let path = Option.get (Paths.extract_path results.(i) terminals.(j)) in
+        List.iter
+          (fun e -> if not (List.mem e !union) then union := e :: !union)
+          (Paths.path_edges path))
+      arbo;
+    let sub = Digraph.create (Platform.n_nodes p) in
+    List.iter
+      (fun (u, v) -> Digraph.add_edge sub ~src:u ~dst:v ~cost:(Digraph.cost g ~src:u ~dst:v))
+      !union;
+    (* The union can give nodes two parents; a shortest-path tree inside the
+       union subgraph restores tree-ness without losing reachability. *)
+    let r = Paths.dijkstra sub ~sources:[ p.Platform.source ] in
+    let edges = ref [] in
+    let ok =
+      List.for_all
+        (fun t ->
+          match Paths.extract_path r t with
+          | None -> false
+          | Some path ->
+            List.iter (fun e -> if not (List.mem e !edges) then edges := e :: !edges)
+              (Paths.path_edges path);
+            true)
+        p.Platform.targets
+    in
+    if ok then finish p !edges else None

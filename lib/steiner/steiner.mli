@@ -1,0 +1,28 @@
+(** Classical Steiner-tree heuristics (related-work baselines, §8).
+
+    All three heuristics optimize the conventional Steiner objective — the
+    {e sum} of the edge costs of a tree connecting the source to every
+    target — which is {e not} the one-port steady-state objective; the
+    paper's own MCPH adaptation (in [mcast_core.Mcph]) changes the metric.
+    They are provided both as baselines in the experiments and because the
+    one-port MCPH is derived from {!minimum_cost_path_tree}.
+
+    Every function returns a pruned out-tree rooted at the platform source
+    covering all targets, or [None] when some target is unreachable. *)
+
+(** Sum of the graph costs of a tree's edges — the Steiner objective. *)
+val steiner_cost : Digraph.t -> Out_tree.t -> Rat.t
+
+(** Takahashi–Matsuyama / Ramanathan minimum cost path heuristic: grow the
+    tree by repeatedly attaching the target with the cheapest shortest path
+    from the current tree. *)
+val minimum_cost_path_tree : Platform.t -> Out_tree.t option
+
+(** Shortest-path tree from the source (Dijkstra), pruned of branches that
+    contain no target. *)
+val pruned_dijkstra_tree : Platform.t -> Out_tree.t option
+
+(** Distance-network (KMB) heuristic, directed variant: build the metric
+    closure over the terminals, take a minimum spanning arborescence of it
+    (Chu–Liu/Edmonds), expand closure edges into real paths, and prune. *)
+val kmb_tree : Platform.t -> Out_tree.t option

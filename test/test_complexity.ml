@@ -1,0 +1,150 @@
+(* Tests for the §4 complexity machinery: set cover, the Fig. 2 gadget, the
+   exhaustive tree solvers and the Theorem 1/2 correspondence. *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let q = Rat.of_ints
+
+(* --- set cover --- *)
+
+let triangle () = Set_cover.make ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ]
+
+let test_set_cover_basics () =
+  let c = triangle () in
+  Alcotest.(check bool) "two sets cover" true (Set_cover.is_cover c [ 0; 1 ]);
+  Alcotest.(check bool) "one set does not" false (Set_cover.is_cover c [ 0 ]);
+  Alcotest.(check bool) "rejects bad index" true
+    (try ignore (Set_cover.is_cover c [ 7 ]); false with Invalid_argument _ -> true)
+
+let test_set_cover_greedy () =
+  let c = triangle () in
+  match Set_cover.greedy c with
+  | None -> Alcotest.fail "greedy must find a cover"
+  | Some chosen -> Alcotest.(check bool) "greedy result is a cover" true (Set_cover.is_cover c chosen)
+
+let test_set_cover_minimum () =
+  let c = triangle () in
+  (match Set_cover.minimum c with
+  | Some m -> Alcotest.(check int) "minimum of triangle is 2" 2 (List.length m)
+  | None -> Alcotest.fail "min cover");
+  (* An instance where greedy is suboptimal:
+     X = {0..5}; the two halves {0,1,2}, {3,4,5} cover with 2, but greedy
+     takes the size-4 set {1,2,3,4} first. *)
+  let tricky =
+    Set_cover.make ~universe:6 [ [ 1; 2; 3; 4 ]; [ 0; 1; 2 ]; [ 3; 4; 5 ] ]
+  in
+  (match Set_cover.minimum tricky with
+  | Some m -> Alcotest.(check int) "exact finds 2" 2 (List.length m)
+  | None -> Alcotest.fail "min cover");
+  match Set_cover.greedy tricky with
+  | Some g -> Alcotest.(check int) "greedy pays 3" 3 (List.length g)
+  | None -> Alcotest.fail "greedy"
+
+let test_set_cover_uncoverable () =
+  let c = Set_cover.make ~universe:3 [ [ 0 ]; [ 1 ] ] in
+  Alcotest.(check bool) "greedy none" true (Set_cover.greedy c = None);
+  Alcotest.(check bool) "minimum none" true (Set_cover.minimum c = None)
+
+let test_set_cover_random () =
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 10 do
+    let c = Set_cover.random rng ~universe:8 ~n_sets:5 ~density:0.3 in
+    (* Always patched to be coverable. *)
+    match Set_cover.minimum c with
+    | Some m -> Alcotest.(check bool) "valid" true (Set_cover.is_cover c m)
+    | None -> Alcotest.fail "random instance must be coverable"
+  done
+
+(* --- gadget --- *)
+
+let test_gadget_shape () =
+  let c = triangle () in
+  let p = Complexity.gadget c ~bound:2 in
+  Alcotest.(check int) "nodes: 1 + |C| + N" 7 (Platform.n_nodes p);
+  Alcotest.(check int) "targets = N" 3 (List.length p.Platform.targets);
+  Alcotest.check rat "subset edge cost 1/B" (q 1 2) (Digraph.cost p.Platform.graph ~src:0 ~dst:1);
+  Alcotest.check rat "element edge cost 1/N" (q 1 3) (Digraph.cost p.Platform.graph ~src:1 ~dst:4);
+  Alcotest.(check bool) "feasible" true (Platform.is_feasible p)
+
+let test_theorem1_correspondence () =
+  (* Best single-tree throughput = B / K* on the gadget (proof of Th. 2). *)
+  let cases =
+    [
+      (triangle (), 1);
+      (triangle (), 2);
+      (Set_cover.make ~universe:4 [ [ 0; 1; 2; 3 ]; [ 0; 1 ]; [ 2; 3 ] ], 1);
+      (Set_cover.make ~universe:5 [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ]; [ 0; 2; 4 ] ], 2);
+    ]
+  in
+  List.iter
+    (fun (cover, bound) ->
+      let thr, k_star, ok = Complexity.verify_gadget_correspondence cover ~bound in
+      Alcotest.(check bool)
+        (Printf.sprintf "B=%d K*=%d thr=%f" bound k_star thr)
+        true ok)
+    cases
+
+let test_theorem1_decision_version () =
+  (* A single tree of throughput >= 1 exists iff a cover of size <= B does. *)
+  let c = triangle () in
+  (* K* = 2: with B = 2 a period-1 tree exists; with B = 1 it does not. *)
+  let tree_period bound =
+    match Complexity.best_single_tree (Complexity.gadget c ~bound) with
+    | Some t -> Multicast_tree.period t
+    | None -> Rat.of_int max_int
+  in
+  Alcotest.check rat "B=2: period 1" Rat.one (tree_period 2);
+  Alcotest.(check bool) "B=1: period > 1" true Rat.(tree_period 1 > one)
+
+let test_enumerate_trees_small () =
+  let p = Paper_platforms.two_relay () in
+  let trees = Complexity.enumerate_trees p in
+  (* Trees must be distinct and valid; on this 5-node platform the pruned
+     multicast trees are: via A, via B, src->A->T1 + src->B->T2, etc. *)
+  Alcotest.(check bool) "several trees" true (List.length trees >= 4);
+  let keys =
+    List.map (fun t -> List.sort compare (Multicast_tree.edges t)) trees
+  in
+  Alcotest.(check int) "no duplicates" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_optimal_packing_two_relay () =
+  let p = Paper_platforms.two_relay () in
+  match Complexity.optimal_tree_packing p with
+  | None -> Alcotest.fail "packing"
+  | Some s ->
+    Alcotest.check rat "optimal throughput 1" Rat.one (Tree_set.throughput s);
+    Alcotest.(check bool) "feasible" true (Tree_set.is_feasible s)
+
+let test_packing_sandwich () =
+  (* LB period <= packing period <= best single tree period. *)
+  let rng = Random.State.make [| 8 |] in
+  for _ = 1 to 4 do
+    let p =
+      Generators.random_connected rng ~nodes:6 ~extra_edges:2 ~min_cost:1 ~max_cost:8
+        ~n_targets:2
+    in
+    match (Formulations.multicast_lb p, Complexity.optimal_tree_packing p,
+           Complexity.best_single_tree p)
+    with
+    | Some lb, Some packing, Some single ->
+      let opt = 1.0 /. Rat.to_float (Tree_set.throughput packing) in
+      let single_p = Rat.to_float (Multicast_tree.period single) in
+      Alcotest.(check bool) "LB <= OPT" true (lb.Formulations.period <= opt +. 1e-5);
+      Alcotest.(check bool) "OPT <= single" true (opt <= single_p +. 1e-9)
+    | _ -> Alcotest.fail "all three must solve"
+  done
+
+let suite =
+  [
+    ("set cover: basics", `Quick, test_set_cover_basics);
+    ("set cover: greedy", `Quick, test_set_cover_greedy);
+    ("set cover: exact minimum", `Quick, test_set_cover_minimum);
+    ("set cover: uncoverable", `Quick, test_set_cover_uncoverable);
+    ("set cover: random instances", `Quick, test_set_cover_random);
+    ("gadget: shape", `Quick, test_gadget_shape);
+    ("theorem 1/2: B/K* correspondence", `Quick, test_theorem1_correspondence);
+    ("theorem 1: decision version", `Quick, test_theorem1_decision_version);
+    ("tree enumeration", `Quick, test_enumerate_trees_small);
+    ("optimal packing: two_relay", `Quick, test_optimal_packing_two_relay);
+    ("packing sandwich", `Quick, test_packing_sandwich);
+  ]

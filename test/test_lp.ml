@@ -1,0 +1,264 @@
+(* Tests for the LP layer: model builder, float simplex, exact simplex, and
+   agreement between the two engines on random instances. *)
+
+let feps = 1e-6
+let check_f = Alcotest.(check (float feps))
+
+(* maximize 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's classic):
+   optimum 36 at (2, 6). *)
+let test_float_classic () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x) ] Le 4.0;
+  Lp_model.add_constraint m [ (2.0, y) ] Le 12.0;
+  Lp_model.add_constraint m [ (3.0, x); (2.0, y) ] Le 18.0;
+  Lp_model.set_objective m ~maximize:true [ (3.0, x); (5.0, y) ];
+  let s = Simplex.solve_exn m in
+  check_f "objective" 36.0 s.Simplex.objective;
+  check_f "x" 2.0 s.Simplex.values.(x);
+  check_f "y" 6.0 s.Simplex.values.(y)
+
+(* minimize with >= rows (needs phase 1): min 2x + 3y st x + y >= 4, x >= 1.
+   Optimum 8 at (4, 0) since 2 < 3. *)
+let test_float_phase1 () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x); (1.0, y) ] Ge 4.0;
+  Lp_model.add_constraint m [ (1.0, x) ] Ge 1.0;
+  Lp_model.set_objective m ~maximize:false [ (2.0, x); (3.0, y) ];
+  let s = Simplex.solve_exn m in
+  check_f "objective" 8.0 s.Simplex.objective;
+  check_f "x" 4.0 s.Simplex.values.(x)
+
+let test_float_equality () =
+  (* max x + y st x + y = 3, x - y = 1 -> unique point (2,1). *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x); (1.0, y) ] Eq 3.0;
+  Lp_model.add_constraint m [ (1.0, x); (-1.0, y) ] Eq 1.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x); (1.0, y) ];
+  let s = Simplex.solve_exn m in
+  check_f "objective" 3.0 s.Simplex.objective;
+  check_f "x" 2.0 s.Simplex.values.(x);
+  check_f "y" 1.0 s.Simplex.values.(y)
+
+let test_float_infeasible () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" in
+  Lp_model.add_constraint m [ (1.0, x) ] Le 1.0;
+  Lp_model.add_constraint m [ (1.0, x) ] Ge 2.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x) ];
+  match Simplex.solve m with
+  | Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_float_unbounded () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x); (-1.0, y) ] Le 1.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x) ];
+  match Simplex.solve m with
+  | Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_float_negative_rhs () =
+  (* max -x st -x >= -5  i.e. x <= 5; optimum 0 at x = 0 (x >= 0). *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" in
+  Lp_model.add_constraint m [ (-1.0, x) ] Ge (-5.0);
+  Lp_model.set_objective m ~maximize:true [ (1.0, x) ];
+  let s = Simplex.solve_exn m in
+  check_f "objective" 5.0 s.Simplex.objective
+
+let test_float_redundant_equalities () =
+  (* Linearly dependent equality rows exercise the dead-row purge. *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x); (1.0, y) ] Eq 3.0;
+  Lp_model.add_constraint m [ (2.0, x); (2.0, y) ] Eq 6.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x) ];
+  let s = Simplex.solve_exn m in
+  check_f "objective" 3.0 s.Simplex.objective
+
+let test_float_degenerate () =
+  (* Highly degenerate LP (many constraints tight at the optimum). *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x); (1.0, y) ] Le 1.0;
+  Lp_model.add_constraint m [ (1.0, x) ] Le 1.0;
+  Lp_model.add_constraint m [ (1.0, y) ] Le 1.0;
+  Lp_model.add_constraint m [ (2.0, x); (1.0, y) ] Le 2.0;
+  Lp_model.add_constraint m [ (1.0, x); (2.0, y) ] Le 2.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x); (1.0, y) ];
+  let s = Simplex.solve_exn m in
+  check_f "objective" 1.0 s.Simplex.objective
+
+let test_model_accessors () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" in
+  Alcotest.(check int) "n_vars" 1 (Lp_model.n_vars m);
+  Alcotest.(check int) "var lookup" x (Lp_model.var m "x");
+  Alcotest.(check string) "name" "x" (Lp_model.var_name m x);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try ignore (Lp_model.add_var m "x"); false with Invalid_argument _ -> true);
+  Lp_model.add_constraint m [ (1.0, x) ] Le 2.0;
+  Alcotest.(check int) "n_constraints" 1 (Lp_model.n_constraints m)
+
+(* --- exact engine --- *)
+
+let q = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_exact_classic () =
+  let rows =
+    [
+      ([ (Rat.one, 0) ], Lp_model.Le, Rat.of_int 4);
+      ([ (Rat.of_int 2, 1) ], Lp_model.Le, Rat.of_int 12);
+      ([ (Rat.of_int 3, 0); (Rat.of_int 2, 1) ], Lp_model.Le, Rat.of_int 18);
+    ]
+  in
+  let s =
+    Simplex_exact.solve_exn ~n_vars:2 ~maximize:true
+      ~objective:[ (Rat.of_int 3, 0); (Rat.of_int 5, 1) ]
+      rows
+  in
+  Alcotest.check rat "objective" (Rat.of_int 36) s.Simplex_exact.objective;
+  Alcotest.check rat "x" (Rat.of_int 2) s.Simplex_exact.values.(0)
+
+let test_exact_fractional () =
+  (* max x st 3x <= 1 -> x = 1/3 exactly. *)
+  let s =
+    Simplex_exact.solve_exn ~n_vars:1 ~maximize:true ~objective:[ (Rat.one, 0) ]
+      [ ([ (Rat.of_int 3, 0) ], Lp_model.Le, Rat.one) ]
+  in
+  Alcotest.check rat "x" (q 1 3) s.Simplex_exact.values.(0);
+  Alcotest.check rat "objective" (q 1 3) s.Simplex_exact.objective
+
+let test_exact_statuses () =
+  (match
+     Simplex_exact.solve ~n_vars:1 ~maximize:true ~objective:[ (Rat.one, 0) ]
+       [
+         ([ (Rat.one, 0) ], Lp_model.Le, Rat.one);
+         ([ (Rat.one, 0) ], Lp_model.Ge, Rat.of_int 2);
+       ]
+   with
+  | Simplex_exact.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible");
+  match Simplex_exact.solve ~n_vars:1 ~maximize:true ~objective:[ (Rat.one, 0) ] [] with
+  | Simplex_exact.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+(* --- engines agree on random bounded instances --- *)
+
+(* Random LP: maximize a non-negative objective over rows sum(coef x) <= rhs
+   with non-negative coefficients and at least one binding row per variable,
+   so the LP is feasible (origin) and bounded. *)
+type rand_lp = {
+  nv : int;
+  obj : int array;
+  rows_i : (int array * int) list;
+}
+
+let gen_rand_lp =
+  QCheck.Gen.(
+    int_range 1 4 >>= fun nv ->
+    int_range 1 6 >>= fun nr ->
+    let gen_row =
+      array_size (return nv) (int_bound 5) >>= fun coefs ->
+      int_range 1 20 >>= fun rhs -> return (coefs, rhs)
+    in
+    array_size (return nv) (int_range 0 9) >>= fun obj ->
+    list_size (return nr) gen_row >>= fun rows ->
+    (* cap every variable to keep the LP bounded *)
+    let caps = List.init nv (fun v -> (Array.init nv (fun i -> if i = v then 1 else 0), 10)) in
+    return { nv; obj; rows_i = rows @ caps })
+
+let print_rand_lp lp =
+  let row_str (c, r) =
+    Printf.sprintf "[%s] <= %d" (String.concat "," (Array.to_list (Array.map string_of_int c))) r
+  in
+  Printf.sprintf "max [%s] st %s"
+    (String.concat "," (Array.to_list (Array.map string_of_int lp.obj)))
+    (String.concat " ; " (List.map row_str lp.rows_i))
+
+let arb_rand_lp = QCheck.make ~print:print_rand_lp gen_rand_lp
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let engines_agree lp =
+  let m = Lp_model.create () in
+  let vars = Array.init lp.nv (fun i -> Lp_model.add_var m (Printf.sprintf "v%d" i)) in
+  List.iter
+    (fun (coefs, rhs) ->
+      let expr =
+        List.filter_map
+          (fun i -> if coefs.(i) <> 0 then Some (float_of_int coefs.(i), vars.(i)) else None)
+          (List.init lp.nv Fun.id)
+      in
+      Lp_model.add_constraint m expr Le (float_of_int rhs))
+    lp.rows_i;
+  Lp_model.set_objective m ~maximize:true
+    (List.init lp.nv (fun i -> (float_of_int lp.obj.(i), vars.(i))));
+  let exact_rows =
+    List.map
+      (fun (coefs, rhs) ->
+        ( List.filter_map
+            (fun i -> if coefs.(i) <> 0 then Some (Rat.of_int coefs.(i), i) else None)
+            (List.init lp.nv Fun.id),
+          Lp_model.Le,
+          Rat.of_int rhs ))
+      lp.rows_i
+  in
+  let exact =
+    Simplex_exact.solve_exn ~n_vars:lp.nv ~maximize:true
+      ~objective:(List.init lp.nv (fun i -> (Rat.of_int lp.obj.(i), i)))
+      exact_rows
+  in
+  let float_sol = Simplex.solve_exn m in
+  abs_float (float_sol.Simplex.objective -. Rat.to_float exact.Simplex_exact.objective)
+  < 1e-6
+
+let lp_props =
+  [
+    prop "float and exact engines agree" 150 arb_rand_lp engines_agree;
+    prop "optimal solutions are feasible" 150 arb_rand_lp (fun lp ->
+        let m = Lp_model.create () in
+        let vars = Array.init lp.nv (fun i -> Lp_model.add_var m (Printf.sprintf "v%d" i)) in
+        List.iter
+          (fun (coefs, rhs) ->
+            let expr =
+              List.filter_map
+                (fun i ->
+                  if coefs.(i) <> 0 then Some (float_of_int coefs.(i), vars.(i)) else None)
+                (List.init lp.nv Fun.id)
+            in
+            Lp_model.add_constraint m expr Le (float_of_int rhs))
+          lp.rows_i;
+        Lp_model.set_objective m ~maximize:true
+          (List.init lp.nv (fun i -> (float_of_int lp.obj.(i), vars.(i))));
+        let s = Simplex.solve_exn m in
+        List.for_all
+          (fun (coefs, rhs) ->
+            let lhs = ref 0.0 in
+            Array.iteri (fun i c -> lhs := !lhs +. (float_of_int c *. s.Simplex.values.(i))) coefs;
+            !lhs <= float_of_int rhs +. 1e-6)
+          lp.rows_i
+        && Array.for_all (fun v -> v >= -1e-9) s.Simplex.values);
+  ]
+
+let suite =
+  [
+    ("float: classic max", `Quick, test_float_classic);
+    ("float: phase 1", `Quick, test_float_phase1);
+    ("float: equalities", `Quick, test_float_equality);
+    ("float: infeasible", `Quick, test_float_infeasible);
+    ("float: unbounded", `Quick, test_float_unbounded);
+    ("float: negative rhs", `Quick, test_float_negative_rhs);
+    ("float: redundant equalities", `Quick, test_float_redundant_equalities);
+    ("float: degenerate", `Quick, test_float_degenerate);
+    ("model: accessors", `Quick, test_model_accessors);
+    ("exact: classic", `Quick, test_exact_classic);
+    ("exact: fractional optimum", `Quick, test_exact_fractional);
+    ("exact: statuses", `Quick, test_exact_statuses);
+  ]
+  @ lp_props

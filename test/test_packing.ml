@@ -1,0 +1,89 @@
+(* Tests for arborescence packing: the constructive counterpart of
+   Broadcast-EB (companion-paper machinery the heuristics rely on). *)
+
+let test_pack_star () =
+  (* Source with two children; capacities allow exactly one arborescence of
+     weight 1/2 (out-port = 2 sends of cost 1 each). *)
+  let p = Platform.broadcast_of (Paper_platforms.two_relay ()) in
+  let sol = Option.get (Formulations.broadcast_eb (Paper_platforms.two_relay ())) in
+  let packing =
+    Arborescence_packing.pack p ~capacities:sol.Formulations.edge_usage
+      ~rho:sol.Formulations.throughput
+  in
+  Alcotest.(check bool) "packs the full broadcast value" true
+    (packing.Arborescence_packing.achieved >= sol.Formulations.throughput -. 1e-6)
+
+let test_pack_respects_capacities () =
+  let p = Paper_platforms.two_relay () in
+  let b = Platform.broadcast_of p in
+  let caps = [ ((0, 1), 0.25); ((1, 3), 0.25); ((1, 4), 0.25); ((0, 2), 0.25); ((2, 3), 0.0) ] in
+  let packing = Arborescence_packing.pack b ~capacities:caps ~rho:1.0 in
+  (* Per-edge usage must not exceed its capacity. *)
+  let usage = Hashtbl.create 16 in
+  List.iter
+    (fun (edges, w) ->
+      List.iter
+        (fun e ->
+          Hashtbl.replace usage e (w +. Option.value ~default:0.0 (Hashtbl.find_opt usage e)))
+        edges)
+    packing.Arborescence_packing.trees;
+  List.iter
+    (fun (e, c) ->
+      let u = Option.value ~default:0.0 (Hashtbl.find_opt usage e) in
+      Alcotest.(check bool) "within capacity" true (u <= c +. 1e-6))
+    caps;
+  (* (0,1) capacity caps the packing at 0.25. *)
+  Alcotest.(check bool) "bounded by bottleneck" true
+    (packing.Arborescence_packing.achieved <= 0.25 +. 1e-6)
+
+let test_schedule_of_broadcast_end_to_end () =
+  let rng = Random.State.make [| 10 |] in
+  let p =
+    Generators.random_connected rng ~nodes:8 ~extra_edges:4 ~min_cost:1 ~max_cost:10
+      ~n_targets:3
+  in
+  match Formulations.broadcast_eb p with
+  | None -> Alcotest.fail "eb"
+  | Some sol -> (
+    match Arborescence_packing.schedule_of_broadcast p sol with
+    | Error e -> Alcotest.fail e
+    | Ok (sched, thr) ->
+      (match Schedule.check sched with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (* Column generation packs the full value; only the rational
+         rounding of the weights can shave a little. *)
+      Alcotest.(check bool) "keeps >= 95% of the LP value" true
+        (Rat.to_float thr >= 0.95 *. sol.Formulations.throughput);
+      let periods = Schedule.init_periods sched + 5 in
+      (match Event_sim.run sched ~periods with
+      | Error e -> Alcotest.fail e
+      | Ok stats ->
+        Alcotest.(check bool) "simulated close to packed value" true
+          (abs_float (stats.Event_sim.measured_throughput -. Rat.to_float thr)
+          <= 0.15 *. Rat.to_float thr)))
+
+let prop_packing_on_tiers =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"broadcast packing realizes the full EB value" ~count:8
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1000))
+       (fun seed ->
+         let rng = Random.State.make [| seed; 55 |] in
+         let p = Tiers.generate rng Tiers.small_params ~n_targets:5 in
+         match Formulations.broadcast_eb p with
+         | None -> false
+         | Some sol ->
+           let b = Platform.broadcast_of p in
+           let packing =
+             Arborescence_packing.pack b ~capacities:sol.Formulations.edge_usage
+               ~rho:sol.Formulations.throughput
+           in
+           packing.Arborescence_packing.achieved >= 0.999 *. sol.Formulations.throughput))
+
+let suite =
+  [
+    ("pack: two_relay broadcast", `Quick, test_pack_star);
+    ("pack: respects capacities", `Quick, test_pack_respects_capacities);
+    ("schedule of broadcast end-to-end", `Quick, test_schedule_of_broadcast_end_to_end);
+    prop_packing_on_tiers;
+  ]

@@ -1,0 +1,74 @@
+(* Tests for the plain-text platform format used by the CLI. *)
+
+let test_roundtrip () =
+  List.iter
+    (fun (name, p) ->
+      let text = Platform_io.to_string p in
+      match Platform_io.of_string text with
+      | Error e -> Alcotest.failf "%s: parse failed: %s" name e
+      | Ok p' ->
+        Alcotest.(check int) (name ^ " nodes") (Platform.n_nodes p) (Platform.n_nodes p');
+        Alcotest.(check int)
+          (name ^ " edges")
+          (Digraph.n_edges p.Platform.graph)
+          (Digraph.n_edges p'.Platform.graph);
+        Alcotest.(check (list int)) (name ^ " targets") p.Platform.targets p'.Platform.targets;
+        Alcotest.(check int) (name ^ " source") p.Platform.source p'.Platform.source;
+        Digraph.iter_edges
+          (fun e ->
+            Alcotest.(check bool) (name ^ " edge cost kept") true
+              (Rat.equal e.Digraph.cost
+                 (Digraph.cost p'.Platform.graph ~src:e.Digraph.src ~dst:e.Digraph.dst)))
+          p.Platform.graph;
+        Alcotest.(check string) (name ^ " labels kept")
+          (Digraph.label p.Platform.graph p.Platform.source)
+          (Digraph.label p'.Platform.graph p'.Platform.source))
+    [
+      ("fig1", Paper_platforms.fig1 ());
+      ("fig4", Paper_platforms.fig4 ());
+      ("two_relay", Paper_platforms.two_relay ());
+      ( "tiers",
+        let rng = Random.State.make [| 6 |] in
+        Tiers.generate rng Tiers.small_params ~n_targets:5 );
+    ]
+
+let test_parse_minimal () =
+  let text = "# comment\nnodes 3\nsource 0\ntargets 2\nedge 0 1 1/2\nedge 1 2 3\n" in
+  match Platform_io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check int) "nodes" 3 (Platform.n_nodes p);
+    Alcotest.(check bool) "cost parsed" true
+      (Rat.equal (Rat.of_ints 1 2) (Digraph.cost p.Platform.graph ~src:0 ~dst:1))
+
+let test_parse_errors () =
+  let bad text =
+    match Platform_io.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bad input: %s" text
+  in
+  bad "";
+  bad "nodes 3\nsource 0\n";
+  bad "nodes 3\ntargets 1\n";
+  bad "nodes 3\nsource 0\ntargets 1\nedge 0 9 1\n";
+  bad "nodes 3\nsource 0\ntargets 1\nbogus directive\n";
+  bad "nodes 3\nsource 0\ntargets 0\n" (* source cannot be target *)
+
+let test_file_io () =
+  let p = Paper_platforms.two_relay () in
+  let path = Filename.temp_file "mcast" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Platform_io.save path p;
+      match Platform_io.load path with
+      | Ok p' -> Alcotest.(check int) "roundtrip via file" 5 (Platform.n_nodes p')
+      | Error e -> Alcotest.fail e)
+
+let suite =
+  [
+    ("roundtrip", `Quick, test_roundtrip);
+    ("parse minimal", `Quick, test_parse_minimal);
+    ("parse errors", `Quick, test_parse_errors);
+    ("file io", `Quick, test_file_io);
+  ]

@@ -1,0 +1,125 @@
+(* Tests for the §4.2 parallel-prefix extension: the Fig. 3 gadget and the
+   Theorem 5 correspondence between covers and throughput-1 schemes. *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let q = Rat.of_ints
+
+let square () = Set_cover.make ~universe:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ]
+
+let test_edge_costs () =
+  (* u_j = 1/j - 1/(N+1), v_i = 1/(i+1) + 1/((N+1) i) with N = 4. *)
+  Alcotest.check rat "u_1" (q 4 5) (Prefix_gadget.u ~n:4 1);
+  Alcotest.check rat "u_4" (Rat.sub (q 1 4) (q 1 5)) (Prefix_gadget.u ~n:4 4);
+  Alcotest.check rat "v_1" (Rat.add (q 1 2) (q 1 5)) (Prefix_gadget.v ~n:4 1);
+  Alcotest.check rat "v_3" (Rat.add (q 1 4) (q 1 15)) (Prefix_gadget.v ~n:4 3)
+
+let test_gadget_shape () =
+  let g = Prefix_gadget.build (square ()) ~bound:2 in
+  let p = g.Prefix_gadget.problem in
+  Alcotest.(check int) "nodes: 1 + k + 2N" 13 (Digraph.n_nodes p.Prefix_problem.graph);
+  Alcotest.(check int) "prefix order N+1" 5 (Prefix_problem.order p);
+  (* member computing speed 1/N; relays cannot compute *)
+  Alcotest.(check bool) "Ps computes" true (p.Prefix_problem.w g.Prefix_gadget.ps <> None);
+  Alcotest.(check bool) "relay cannot compute" true
+    (p.Prefix_problem.w g.Prefix_gadget.subset_node.(0) = None);
+  Alcotest.check rat "f(0,0) = 1" Rat.one (p.Prefix_problem.f 0 0);
+  Alcotest.check rat "f(1,3) = 3" (Rat.of_int 3) (p.Prefix_problem.f 1 3)
+
+let test_cover_scheme_feasible () =
+  (* The proof's occupations: receiving time of X'_i (i >= 2) is exactly 1,
+     so a cover of size <= B yields max occupation exactly 1. *)
+  let g = Prefix_gadget.build (square ()) ~bound:2 in
+  match Prefix_schedule.scheme_of_cover g ~chosen:[ 0; 2 ] with
+  | Error e -> Alcotest.fail e
+  | Ok occ ->
+    Alcotest.check rat "max occupation exactly 1" Rat.one (Prefix_schedule.max_occupation occ);
+    Alcotest.(check bool) "feasible" true (Prefix_schedule.is_feasible occ);
+    Alcotest.check rat "throughput 1" Rat.one (Prefix_schedule.throughput occ)
+
+let test_oversized_cover_infeasible () =
+  (* Choosing more than B subsets overloads the source port (Theorem 5's
+     converse intuition). *)
+  let g = Prefix_gadget.build (square ()) ~bound:2 in
+  match Prefix_schedule.scheme_of_cover g ~chosen:[ 0; 1; 2 ] with
+  | Error e -> Alcotest.fail e
+  | Ok occ ->
+    Alcotest.(check bool) "infeasible" false (Prefix_schedule.is_feasible occ);
+    Alcotest.check rat "source overloaded to 3/2" (q 3 2) (Prefix_schedule.max_occupation occ)
+
+let test_non_cover_rejected () =
+  let g = Prefix_gadget.build (square ()) ~bound:2 in
+  (match Prefix_schedule.scheme_of_cover g ~chosen:[ 0; 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-cover accepted");
+  match Prefix_schedule.scheme_of_cover g ~chosen:[ 9 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad index accepted"
+
+let test_theorem5_correspondence () =
+  (* Over random instances: a feasible throughput-1 scheme from our
+     construction exists iff the minimum cover is at most B. *)
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 8 do
+    let cover = Set_cover.random rng ~universe:5 ~n_sets:4 ~density:0.4 in
+    let k_star = List.length (Option.get (Set_cover.minimum cover)) in
+    List.iter
+      (fun bound ->
+        let g = Prefix_gadget.build cover ~bound in
+        let best = Set_cover.minimum cover in
+        match best with
+        | None -> ()
+        | Some chosen -> (
+          match Prefix_schedule.scheme_of_cover g ~chosen with
+          | Error e -> Alcotest.fail e
+          | Ok occ ->
+            let feasible = Prefix_schedule.is_feasible occ in
+            Alcotest.(check bool)
+              (Printf.sprintf "bound %d vs k* %d" bound k_star)
+              (k_star <= bound) feasible))
+      [ 1; 2; 3; 4 ]
+  done
+
+let test_problem_validation () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~cost:Rat.one;
+  let ok_w _ = Some Rat.one in
+  let f = Prefix_problem.unit_sizes and gg = Prefix_problem.unit_tasks in
+  ignore (Prefix_problem.make g ~members:[| 0; 1 |] ~f ~g:gg ~w:ok_w);
+  let inv members =
+    Alcotest.(check bool) "rejects" true
+      (try ignore (Prefix_problem.make g ~members ~f ~g:gg ~w:ok_w); false
+       with Invalid_argument _ -> true)
+  in
+  inv [| 0 |];
+  inv [| 0; 0 |];
+  inv [| 0; 7 |]
+
+let prop_scheme_occupations_positive =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"gadget schemes have sane occupations" ~count:40
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 10_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed; 5 |] in
+         let cover = Set_cover.random rng ~universe:4 ~n_sets:3 ~density:0.5 in
+         match Set_cover.minimum cover with
+         | None -> true
+         | Some chosen -> (
+           let g = Prefix_gadget.build cover ~bound:(max 1 (List.length chosen)) in
+           match Prefix_schedule.scheme_of_cover g ~chosen with
+           | Error _ -> false
+           | Ok occ ->
+             List.for_all (fun (_, x) -> Rat.(x > zero)) occ.Prefix_schedule.send
+             && List.for_all (fun (_, x) -> Rat.(x > zero)) occ.Prefix_schedule.recv
+             && Prefix_schedule.is_feasible occ)))
+
+let suite =
+  [
+    ("gadget edge costs", `Quick, test_edge_costs);
+    ("gadget shape", `Quick, test_gadget_shape);
+    ("cover scheme feasible at 1", `Quick, test_cover_scheme_feasible);
+    ("oversized cover infeasible", `Quick, test_oversized_cover_infeasible);
+    ("non-cover rejected", `Quick, test_non_cover_rejected);
+    ("theorem 5 correspondence", `Quick, test_theorem5_correspondence);
+    ("problem validation", `Quick, test_problem_validation);
+    prop_scheme_occupations_positive;
+  ]

@@ -1,0 +1,122 @@
+(* Tests for the scatter schedule construction (Multicast-UB /
+   MulticastMultiSource-UB are schedulable) and the makespan module. *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let q = Rat.of_ints
+
+let test_scatter_two_relay () =
+  let p = Paper_platforms.two_relay () in
+  let sol = Option.get (Formulations.multicast_ub p) in
+  match Scatter_schedule.of_solution p sol with
+  | Error e -> Alcotest.fail e
+  | Ok sched ->
+    (match Schedule.check sched with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    (* Scatter at rho = 1/2 to 2 targets = 1 message per time unit. *)
+    Alcotest.(check (float 0.02)) "message rate = |T| * rho" 1.0
+      (Rat.to_float (Scatter_schedule.message_rate sched));
+    (match Event_sim.run sched ~periods:(Schedule.init_periods sched + 6) with
+    | Error e -> Alcotest.fail e
+    | Ok stats ->
+      Alcotest.(check (float 0.1)) "simulated message rate" 1.0
+        stats.Event_sim.measured_throughput)
+
+let test_scatter_on_tiers () =
+  let rng = Random.State.make [| 77 |] in
+  let p = Tiers.generate rng Tiers.small_params ~n_targets:6 in
+  let sol = Option.get (Formulations.multicast_ub p) in
+  match Scatter_schedule.of_solution p sol with
+  | Error e -> Alcotest.fail e
+  | Ok sched -> (
+    (match Schedule.check sched with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    let expected = 6.0 *. sol.Formulations.throughput in
+    Alcotest.(check bool) "message rate within 5% of |T| * rho" true
+      (abs_float (Rat.to_float (Scatter_schedule.message_rate sched) -. expected)
+      < 0.05 *. expected);
+    match Event_sim.run sched ~periods:(Schedule.init_periods sched + 4) with
+    | Error e -> Alcotest.fail e
+    | Ok _ -> ())
+
+let test_scatter_multisource () =
+  let p = Paper_platforms.two_relay () in
+  let sol = Option.get (Formulations.multisource_ub p ~sources:[ 0; 1 ]) in
+  match Scatter_schedule.of_solution p sol with
+  | Error e -> Alcotest.fail e
+  | Ok sched -> (
+    match Schedule.check sched with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+
+(* --- makespan --- *)
+
+let test_makespan_chain () =
+  let p = Generators.chain ~length:3 ~cost:Rat.one in
+  let t = Multicast_tree.of_edges_exn p [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.check rat "one-port chain = depth" (Rat.of_int 3) (Makespan.one_port_makespan t);
+  Alcotest.check rat "multi-port chain = depth" (Rat.of_int 3) (Makespan.multi_port_makespan t)
+
+let test_makespan_star_ordering () =
+  (* Source with two children: a cheap leaf (cost 1) and an expensive
+     subtree entry (cost 1) whose child chain adds 5. Serving the deep
+     child first gives 1 + 5 = 6 then leaf at 2: makespan 6; serving the
+     leaf first gives makespan 7. The exact order must find 6. *)
+  let g = Digraph.create 4 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~cost:Rat.one;
+  Digraph.add_edge g ~src:0 ~dst:2 ~cost:Rat.one;
+  Digraph.add_edge g ~src:2 ~dst:3 ~cost:(Rat.of_int 5);
+  let p = Platform.make g ~source:0 ~targets:[ 1; 3 ] in
+  let t = Multicast_tree.of_edges_exn p [ (0, 1); (0, 2); (2, 3) ] in
+  (* Deep child first: node 2 receives at 1, node 3 at 1 + 5 = 6, the leaf
+     at 2 — makespan 6. Leaf first would give 7. *)
+  Alcotest.check rat "exact one-port makespan" (Rat.of_int 6) (Makespan.one_port_makespan t);
+  Alcotest.check rat "heuristic agrees here" (Rat.of_int 6)
+    (Makespan.one_port_makespan_heuristic t);
+  Alcotest.check rat "multi-port = longest path" (Rat.of_int 6) (Makespan.multi_port_makespan t)
+
+let test_makespan_vs_throughput_objectives () =
+  (* two_relay: every covering tree has the same shape class; on fig4-like
+     platforms the best-makespan tree and best-period tree can differ. At
+     minimum the exact searches must both return valid trees and the
+     makespan of the period-optimal tree must be >= optimal makespan. *)
+  let p = Paper_platforms.fig4 () in
+  let period_tree = Option.get (Complexity.best_single_tree p) in
+  let makespan_tree = Option.get (Makespan.best_makespan_tree p) in
+  let ms_opt = Makespan.one_port_makespan makespan_tree in
+  let ms_of_period_tree = Makespan.one_port_makespan period_tree in
+  Alcotest.(check bool) "makespan optimum <= makespan of period-optimal tree" true
+    Rat.(ms_opt <= ms_of_period_tree);
+  let per_opt = Multicast_tree.period period_tree in
+  let per_of_ms_tree = Multicast_tree.period makespan_tree in
+  Alcotest.(check bool) "period optimum <= period of makespan-optimal tree" true
+    Rat.(per_opt <= per_of_ms_tree)
+
+let test_makespan_heuristic_upper_bound () =
+  let rng = Random.State.make [| 12 |] in
+  for _ = 1 to 5 do
+    let p =
+      Generators.random_connected rng ~nodes:8 ~extra_edges:4 ~min_cost:1 ~max_cost:9
+        ~n_targets:3
+    in
+    match Mcph.run p with
+    | None -> Alcotest.fail "mcph"
+    | Some r ->
+      let exact = Makespan.one_port_makespan r.Mcph.tree in
+      let heur = Makespan.one_port_makespan_heuristic r.Mcph.tree in
+      Alcotest.(check bool) "heuristic >= exact" true Rat.(heur >= exact);
+      Alcotest.(check bool) "multi-port <= one-port" true
+        Rat.(Makespan.multi_port_makespan r.Mcph.tree <= exact)
+  done
+
+let suite =
+  [
+    ("scatter: two_relay end-to-end", `Quick, test_scatter_two_relay);
+    ("scatter: tiers", `Quick, test_scatter_on_tiers);
+    ("scatter: multisource chains", `Quick, test_scatter_multisource);
+    ("makespan: chain", `Quick, test_makespan_chain);
+    ("makespan: ordering matters", `Quick, test_makespan_star_ordering);
+    ("makespan vs throughput objectives", `Quick, test_makespan_vs_throughput_objectives);
+    ("makespan: heuristic is an upper bound", `Quick, test_makespan_heuristic_upper_bound);
+  ]

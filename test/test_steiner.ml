@@ -1,0 +1,147 @@
+(* Tests for the classical Steiner baselines and the arborescence substrate. *)
+
+let q = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let arbo_cost edges chosen =
+  List.fold_left
+    (fun acc (u, v) ->
+      let _, _, w = List.find (fun (a, b, _) -> a = u && b = v) edges in
+      Rat.add acc w)
+    Rat.zero chosen
+
+let test_arborescence_tree_input () =
+  (* Already a tree: must return it. *)
+  let edges = [ (0, 1, Rat.one); (0, 2, Rat.one); (1, 3, Rat.one) ] in
+  match Arborescence.minimum ~n:4 ~root:0 edges with
+  | None -> Alcotest.fail "expected arborescence"
+  | Some chosen ->
+    Alcotest.(check int) "three edges" 3 (List.length chosen);
+    Alcotest.check rat "cost" (Rat.of_int 3) (arbo_cost edges chosen)
+
+let test_arborescence_chooses_cheaper () =
+  let edges = [ (0, 1, q 5 1); (0, 2, Rat.one); (2, 1, Rat.one) ] in
+  match Arborescence.minimum ~n:3 ~root:0 edges with
+  | None -> Alcotest.fail "expected arborescence"
+  | Some chosen ->
+    Alcotest.check rat "cost 2 via relay" (Rat.of_int 2) (arbo_cost edges chosen);
+    Alcotest.(check bool) "skips expensive edge" false (List.mem (0, 1) chosen)
+
+let test_arborescence_cycle_contraction () =
+  (* Classic case: a 2-cycle of cheap edges must be broken optimally.
+     0 -> 1 (4), 0 -> 2 (3), 1 -> 2 (1), 2 -> 1 (1). Optimal: 0->2 (3),
+     2->1 (1) = 4. *)
+  let edges = [ (0, 1, q 4 1); (0, 2, q 3 1); (1, 2, Rat.one); (2, 1, Rat.one) ] in
+  match Arborescence.minimum ~n:3 ~root:0 edges with
+  | None -> Alcotest.fail "expected arborescence"
+  | Some chosen ->
+    Alcotest.check rat "optimal cost" (Rat.of_int 4) (arbo_cost edges chosen);
+    Alcotest.(check bool) "0->2 chosen" true (List.mem (0, 2) chosen);
+    Alcotest.(check bool) "2->1 chosen" true (List.mem (2, 1) chosen)
+
+let test_arborescence_unreachable () =
+  Alcotest.(check bool) "unreachable -> None" true
+    (Arborescence.minimum ~n:3 ~root:0 [ (0, 1, Rat.one) ] = None)
+
+let validate_tree name (p : Platform.t) = function
+  | None -> Alcotest.failf "%s: no tree" name
+  | Some t ->
+    Alcotest.(check bool) (name ^ " rooted at source") true (t.Out_tree.root = p.Platform.source);
+    Alcotest.(check bool) (name ^ " uses platform edges") true
+      (Out_tree.uses_graph_edges t p.Platform.graph);
+    Alcotest.(check bool) (name ^ " covers targets") true (Out_tree.covers t p.Platform.targets);
+    (* pruned: every leaf is a target *)
+    let leaves =
+      List.filter
+        (fun v -> Out_tree.mem t v && Out_tree.children t v = [] && v <> t.Out_tree.root)
+        (List.init (Platform.n_nodes p) Fun.id)
+    in
+    List.iter
+      (fun leaf -> Alcotest.(check bool) (name ^ " leaf is target") true (Platform.is_target p leaf))
+      leaves;
+    t
+
+let test_heuristics_on_fig1 () =
+  let p = Paper_platforms.fig1 () in
+  let mcp = validate_tree "mcph" p (Steiner.minimum_cost_path_tree p) in
+  let pd = validate_tree "pruned dijkstra" p (Steiner.pruned_dijkstra_tree p) in
+  let kmb = validate_tree "kmb" p (Steiner.kmb_tree p) in
+  (* All heuristics should return reasonable Steiner costs. *)
+  List.iter
+    (fun (name, t) ->
+      let c = Steiner.steiner_cost p.Platform.graph t in
+      Alcotest.(check bool) (name ^ " positive cost") true Rat.(c > zero))
+    [ ("mcph", mcp); ("pd", pd); ("kmb", kmb) ]
+
+let test_heuristics_unreachable () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~cost:Rat.one;
+  Digraph.add_edge g ~src:2 ~dst:1 ~cost:Rat.one;
+  let p = Platform.make g ~source:0 ~targets:[ 2 ] in
+  Alcotest.(check bool) "mcph none" true (Steiner.minimum_cost_path_tree p = None);
+  Alcotest.(check bool) "pd none" true (Steiner.pruned_dijkstra_tree p = None);
+  Alcotest.(check bool) "kmb none" true (Steiner.kmb_tree p = None)
+
+let test_mcph_beats_pd_on_detour () =
+  (* A platform where the shortest-path tree duplicates a long trunk while
+     MCPH reuses it: src -> R (10), R -> T1 (1), R -> T2 (2), and a direct
+     src -> T2 (23/2). T1 is the closest target, so MCPH commits the trunk
+     first and then reaches T2 from the tree for 2 more (total 13), while
+     the Dijkstra tree routes T2 directly (11.5 < 12) and pays 22.5. *)
+  let g = Digraph.create 4 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~cost:(Rat.of_int 10);
+  Digraph.add_edge g ~src:1 ~dst:2 ~cost:Rat.one;
+  Digraph.add_edge g ~src:1 ~dst:3 ~cost:(Rat.of_int 2);
+  Digraph.add_edge g ~src:0 ~dst:3 ~cost:(q 23 2);
+  let p = Platform.make g ~source:0 ~targets:[ 2; 3 ] in
+  let mcp = Option.get (Steiner.minimum_cost_path_tree p) in
+  let pd = Option.get (Steiner.pruned_dijkstra_tree p) in
+  let cost t = Steiner.steiner_cost p.Platform.graph t in
+  Alcotest.check rat "mcph cost 13" (Rat.of_int 13) (cost mcp);
+  Alcotest.check rat "pd cost 45/2" (q 45 2) (cost pd);
+  Alcotest.(check bool) "pd costs more" true Rat.(cost pd > cost mcp)
+
+let test_kmb_matches_mcph_simple () =
+  let p = Paper_platforms.two_relay () in
+  let kmb = Option.get (Steiner.kmb_tree p) in
+  let c = Steiner.steiner_cost p.Platform.graph kmb in
+  (* Best Steiner tree: src -> A -> {T1, T2} (cost 3). *)
+  Alcotest.check rat "kmb optimal here" (Rat.of_int 3) c
+
+(* Property: on random connected platforms all three heuristics produce
+   valid covering trees, and the tree cost is at least the shortest-path
+   distance to the farthest target (a trivial lower bound sanity check). *)
+let prop_random_platforms =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"steiner heuristics valid on random platforms" ~count:60
+       (QCheck.make
+          ~print:string_of_int
+          QCheck.Gen.(int_range 0 10_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed; 17 |] in
+         let p =
+           Generators.random_connected rng ~nodes:10 ~extra_edges:6 ~min_cost:1 ~max_cost:20
+             ~n_targets:3
+         in
+         let check = function
+           | None -> false
+           | Some t ->
+             Out_tree.covers t p.Platform.targets
+             && Out_tree.uses_graph_edges t p.Platform.graph
+         in
+         check (Steiner.minimum_cost_path_tree p)
+         && check (Steiner.pruned_dijkstra_tree p)
+         && check (Steiner.kmb_tree p)))
+
+let suite =
+  [
+    ("arborescence: tree input", `Quick, test_arborescence_tree_input);
+    ("arborescence: cheap relay", `Quick, test_arborescence_chooses_cheaper);
+    ("arborescence: cycle contraction", `Quick, test_arborescence_cycle_contraction);
+    ("arborescence: unreachable", `Quick, test_arborescence_unreachable);
+    ("heuristics cover fig1", `Quick, test_heuristics_on_fig1);
+    ("heuristics: unreachable target", `Quick, test_heuristics_unreachable);
+    ("mcph reuses trunk", `Quick, test_mcph_beats_pd_on_detour);
+    ("kmb optimal on two_relay", `Quick, test_kmb_matches_mcph_simple);
+    prop_random_platforms;
+  ]
