@@ -463,6 +463,92 @@ let ablation_packing () =
     (if !ok then "OK" else "MISMATCH")
 
 (* ------------------------------------------------------------------ *)
+(* R1 — resilience sweep: failure rate x platform kind -> retention.    *)
+
+let resilience_rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+let resilience_kinds = [ "tiers-small"; "random" ]
+
+let resilience () =
+  banner "R1 / resilience — throughput retention after random link failures";
+  let n_trials = !trials in
+  Printf.printf "trials per (kind, rate): %d\n%!" n_trials;
+  let gen kind seed =
+    let rng = Random.State.make [| seed; 7321 |] in
+    match kind with
+    | "tiers-small" -> Tiers.generate rng Tiers.small_params ~n_targets:8
+    | "random" ->
+      Generators.random_connected rng ~nodes:20 ~extra_edges:10 ~min_cost:1 ~max_cost:50
+        ~n_targets:8
+    | other -> failwith ("resilience: unknown kind " ^ other)
+  in
+  (* mean retention over trials; an unrecoverable failure counts as 0. *)
+  let cell kind rate =
+    let total = ref 0.0 and n = ref 0 in
+    for seed = 1 to n_trials do
+      let p = gen kind seed in
+      match Mcph.run p with
+      | None -> ()
+      | Some r ->
+        let sched = Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ]) in
+        let rng = Random.State.make [| seed; 9011 |] in
+        let scenario =
+          Fault.random_link_kills rng p ~rate ~at:(Rat.mul (Rat.of_int 2) sched.Schedule.period)
+        in
+        let retention =
+          match Repair.plan ~before:sched p (Fault.damage scenario) with
+          | Ok rep -> min 1.0 rep.Repair.retention
+          | Error _ -> 0.0
+        in
+        total := !total +. retention;
+        incr n
+    done;
+    if !n = 0 then nan else !total /. float_of_int !n
+  in
+  let table =
+    List.map (fun rate -> (rate, List.map (fun kind -> cell kind rate) resilience_kinds)) resilience_rates
+  in
+  Printf.printf "%8s" "rate";
+  List.iter (fun k -> Printf.printf " %14s" k) resilience_kinds;
+  Printf.printf "\n";
+  List.iter
+    (fun (rate, cells) ->
+      Printf.printf "%8.2f" rate;
+      List.iter (fun c -> Printf.printf " %14.3f" c) cells;
+      Printf.printf "\n")
+    table;
+  ensure_out_dir ();
+  let oc = open_out (Filename.concat !out_dir "resilience.dat") in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc ("# rate " ^ String.concat " " resilience_kinds ^ "\n");
+      List.iter
+        (fun (rate, cells) ->
+          output_string oc (Printf.sprintf "%.2f" rate);
+          List.iter (fun c -> output_string oc (Printf.sprintf " %.4f" c)) cells;
+          output_string oc "\n")
+        table);
+  Printf.printf "gnuplot data: %s/resilience.dat\n" !out_dir;
+  let row_at rate =
+    List.assoc rate table
+  in
+  let ok_baseline = List.for_all (fun c -> abs_float (c -. 1.0) < 1e-9) (row_at 0.0) in
+  (* Retention should not rise as failures get denser (small-sample noise
+     tolerated: allow a 5% upward wiggle between consecutive rates). *)
+  let ok_monotone =
+    List.for_all
+      (fun i ->
+        let prev = row_at (List.nth resilience_rates (i - 1)) in
+        let cur = row_at (List.nth resilience_rates i) in
+        List.for_all2 (fun a b -> b <= a +. 0.05) prev cur)
+      [ 1; 2; 3; 4 ]
+  in
+  Printf.printf "shape check: retention is exactly 1 with no failures — %s\n"
+    (if ok_baseline then "OK" else "MISMATCH");
+  Printf.printf "shape check: retention does not improve with failure rate — %s\n"
+    (if ok_monotone then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
 (* E11 — Theorem 5: prefix gadget.                                      *)
 
 let prefix () =
@@ -510,5 +596,6 @@ let () =
   if want "ablation_cuts" || want "ablations" then ablation_cuts ();
   if want "ablation_mcph" || want "ablations" then ablation_mcph ();
   if want "ablation_packing" || want "ablations" then ablation_packing ();
+  if want "resilience" then resilience ();
   if want "prefix" then prefix ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -8,6 +8,7 @@
      simulate            schedule the MCPH tree and replay it
      broadcast-schedule  Broadcast-EB -> arborescence packing -> replay
      scatter-schedule    Multicast-UB -> weighted chains -> replay
+     resilience          failure injection, schedule repair, retention report
      prefix              Theorem 5 parallel-prefix gadget walk-through
      gadget              set-cover gadget and the Theorem 1 correspondence *)
 
@@ -33,20 +34,21 @@ let seed_arg =
 
 (* --- generate --- *)
 
+let platform_of_kind rng kind ~n_targets =
+  match kind with
+  | "tiers-small" -> Tiers.generate rng Tiers.small_params ~n_targets
+  | "tiers-big" -> Tiers.generate rng Tiers.big_params ~n_targets
+  | "random" ->
+    Generators.random_connected rng ~nodes:20 ~extra_edges:10 ~min_cost:1 ~max_cost:50
+      ~n_targets
+  | "fig1" -> Paper_platforms.fig1 ()
+  | "fig4" -> Paper_platforms.fig4 ()
+  | "two-relay" -> Paper_platforms.two_relay ()
+  | other -> failwith ("unknown platform kind: " ^ other)
+
 let generate kind seed n_targets out =
   let rng = Random.State.make [| seed |] in
-  let p =
-    match kind with
-    | "tiers-small" -> Tiers.generate rng Tiers.small_params ~n_targets
-    | "tiers-big" -> Tiers.generate rng Tiers.big_params ~n_targets
-    | "random" ->
-      Generators.random_connected rng ~nodes:20 ~extra_edges:10 ~min_cost:1 ~max_cost:50
-        ~n_targets
-    | "fig1" -> Paper_platforms.fig1 ()
-    | "fig4" -> Paper_platforms.fig4 ()
-    | "two-relay" -> Paper_platforms.two_relay ()
-    | other -> failwith ("unknown platform kind: " ^ other)
-  in
+  let p = platform_of_kind rng kind ~n_targets in
   let text = Platform_io.to_string p in
   match out with
   | None -> print_string text
@@ -252,6 +254,108 @@ let scatter_schedule_cmd =
        ~doc:"Build and simulate the schedule realizing Multicast-UB")
     Term.(const scatter_schedule $ platform_arg $ periods)
 
+(* --- resilience --- *)
+
+let resilience file kind seed n_targets kill_edges kill_nodes degrades at periods =
+  let p =
+    match file with
+    | Some _ -> read_platform file
+    | None ->
+      let rng = Random.State.make [| seed |] in
+      platform_of_kind rng kind ~n_targets
+  in
+  let at =
+    match Rat.of_string at with
+    | r -> r
+    | exception _ -> failwith ("bad --at time: " ^ at)
+  in
+  let scenario =
+    List.map (fun (u, v) -> Fault.Kill_edge { src = u; dst = v; at }) kill_edges
+    @ List.map (fun v -> Fault.Kill_node { node = v; at }) kill_nodes
+    @ List.map
+        (fun (u, v, f) ->
+          match Rat.of_string f with
+          | factor -> Fault.Degrade_edge { src = u; dst = v; at; factor }
+          | exception _ -> failwith ("bad degrade factor: " ^ f))
+        degrades
+  in
+  if scenario = [] then
+    failwith "no fault events: pass --kill-edge, --kill-node or --degrade";
+  (match Fault.validate p scenario with Ok () -> () | Error e -> failwith e);
+  Printf.printf "%s\n" (Platform.describe p);
+  Printf.printf "scenario: %s\n" (Fault.describe scenario);
+  match Mcph.run p with
+  | None -> failwith "some target is unreachable"
+  | Some r -> (
+    let set = Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ] in
+    let sched = Schedule.of_tree_set set in
+    (match Schedule.check sched with
+    | Ok () -> ()
+    | Error e -> failwith ("baseline schedule check failed: " ^ e));
+    let periods = max periods (Schedule.init_periods sched + 3) in
+    (match Event_sim.run sched ~periods with
+    | Error e -> failwith ("baseline replay failed: " ^ e)
+    | Ok stats ->
+      Printf.printf "baseline: throughput %.6f (replay measured %.6f over %d periods)\n"
+        (Rat.to_float sched.Schedule.throughput)
+        stats.Event_sim.measured_throughput periods);
+    let fs = Event_sim.run_with_faults sched ~faults:scenario ~periods in
+    Printf.printf
+      "under faults: %d deliveries lost, %d deliveries made, %d multicasts still \
+       complete, surviving throughput %.6f\n"
+      (List.length fs.Event_sim.f_losses)
+      fs.Event_sim.f_delivered fs.Event_sim.f_completed fs.Event_sim.f_measured_throughput;
+    match Repair.plan ~before:sched p (Fault.damage scenario) with
+    | Error e -> failwith ("repair failed: " ^ e)
+    | Ok rep ->
+      (match Schedule.check rep.Repair.schedule with
+      | Ok () -> ()
+      | Error e -> failwith ("repaired schedule check failed: " ^ e));
+      let rp = max periods (Schedule.init_periods rep.Repair.schedule + 3) in
+      (match Event_sim.run rep.Repair.schedule ~periods:rp with
+      | Error e -> failwith ("repaired schedule replay failed: " ^ e)
+      | Ok stats ->
+        Printf.printf
+          "repaired schedule verified: Schedule.check OK, replay measured %.6f over %d \
+           periods\n"
+          stats.Event_sim.measured_throughput rp);
+      Format.printf "%a@." Repair.pp_report rep)
+
+let resilience_cmd =
+  let kind =
+    let doc = "Platform kind when no file is given (see $(b,generate))." in
+    Arg.(value & opt string "tiers-small" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_targets =
+    let doc = "Number of multicast targets for generated platforms." in
+    Arg.(value & opt int 8 & info [ "targets" ] ~docv:"N" ~doc)
+  in
+  let kill_edge =
+    let doc = "Kill the directed edge $(docv) at time --at (repeatable)." in
+    Arg.(value & opt_all (pair ~sep:',' int int) [] & info [ "kill-edge" ] ~docv:"U,V" ~doc)
+  in
+  let kill_node =
+    let doc = "Kill node $(docv) and all its ports at time --at (repeatable)." in
+    Arg.(value & opt_all int [] & info [ "kill-node" ] ~docv:"V" ~doc)
+  in
+  let degrade =
+    let doc = "Slow edge U,V down by factor F (a rational >= 1) at time --at (repeatable)." in
+    Arg.(value & opt_all (t3 ~sep:',' int int string) [] & info [ "degrade" ] ~docv:"U,V,F" ~doc)
+  in
+  let at =
+    let doc = "Fire time of every fault event (rational)." in
+    Arg.(value & opt string "0" & info [ "at" ] ~docv:"T" ~doc)
+  in
+  let periods =
+    Arg.(value & opt int 12 & info [ "periods" ] ~docv:"N" ~doc:"Simulation periods.")
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:"Inject failures into a replay, re-plan on the survivors, report retention")
+    Term.(
+      const resilience $ platform_arg $ kind $ seed_arg $ n_targets $ kill_edge $ kill_node
+      $ degrade $ at $ periods)
+
 (* --- prefix --- *)
 
 let prefix_cmd_run seed universe n_sets bound =
@@ -321,6 +425,7 @@ let main_cmd =
       simulate_cmd;
       broadcast_schedule_cmd;
       scatter_schedule_cmd;
+      resilience_cmd;
       prefix_cmd;
       gadget_cmd;
     ]

@@ -137,9 +137,9 @@ let pack (p : Platform.t) ~capacities ~rho =
         Le rho;
       Lp_model.set_objective m ~maximize:true
         (Array.to_list (Array.map (fun v -> (1.0, v)) y));
-      match Simplex.solve m with
-      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Stalled -> !best
-      | Simplex.Optimal sol ->
+      match Solver_chain.solve_with_fallback m with
+      | Solver_chain.Infeasible | Solver_chain.Unbounded -> !best
+      | Solver_chain.Optimal (sol, tag) ->
         let trees =
           List.filter_map
             (fun j ->
@@ -149,7 +149,9 @@ let pack (p : Platform.t) ~capacities ~rho =
         in
         let current = { trees; achieved = sol.Simplex.objective } in
         if current.achieved > !best.achieved then best := current;
-        if round >= 60 || current.achieved >= rho -. 1e-9 then !best
+        (* The exact fallback carries no duals to price new columns with:
+           accept the best packing over the current column pool. *)
+        if tag = `Exact || round >= 60 || current.achieved >= rho -. 1e-9 then !best
         else begin
           (* Pricing: duals of the capacity rows (+ the rho row). *)
           let duals = Hashtbl.create 32 in

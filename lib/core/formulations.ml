@@ -85,9 +85,13 @@ let solve_sum_colgen (p : Platform.t) groups =
       done;
       let port_rows = Array.of_list (List.rev !port_rows) in
       Lp_model.set_objective m ~maximize:true [ (1.0, rho) ];
-      match Simplex.solve m with
-      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Stalled -> None
-      | Simplex.Optimal sol ->
+      match Solver_chain.solve_with_fallback m with
+      | Solver_chain.Infeasible | Solver_chain.Unbounded -> None
+      | Solver_chain.Optimal (sol, `Exact) ->
+        (* Exact fallback carries no duals: stop pricing and keep the
+           current master optimum rather than failing the bound. *)
+        Some (cols, y, sol)
+      | Solver_chain.Optimal (sol, `Float) ->
         if round >= 300 then Some (cols, y, sol)
         else begin
           (* Duals: pi_out/pi_in per node (port rows), mu per group (value
@@ -254,9 +258,9 @@ let solve_sum_dense (p : Platform.t) groups =
     if inp <> [] then Lp_model.add_constraint m inp Le 1.0
   done;
   Lp_model.set_objective m ~maximize:true [ (1.0, rho) ];
-  match Simplex.solve m with
-  | Simplex.Infeasible | Simplex.Unbounded | Simplex.Stalled -> None
-  | Simplex.Optimal sol ->
+  match Solver_chain.solve_with_fallback m with
+  | Solver_chain.Infeasible | Solver_chain.Unbounded -> None
+  | Solver_chain.Optimal (sol, _) ->
     let v i = sol.Simplex.values.(i) in
     let throughput = v rho in
     if throughput < eps then None
@@ -390,9 +394,9 @@ let solve_max ?(two_sided = true) (p : Platform.t) =
             Ge (-.eps_of ()))
         !cuts;
       Lp_model.set_objective m ~maximize:true [ (1.0, rho) ];
-      match Simplex.solve m with
-      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Stalled -> None
-      | Simplex.Optimal sol ->
+      match Solver_chain.solve_with_fallback m with
+      | Solver_chain.Infeasible | Solver_chain.Unbounded -> None
+      | Solver_chain.Optimal (sol, _) ->
         (* Track the tightest relaxation seen: rho must be non-increasing as
            cuts accumulate; a numerical wobble upward is ignored in favour
            of the stored best. *)

@@ -1,0 +1,134 @@
+type damage = {
+  dead_edges : (int * int) list;
+  dead_nodes : int list;
+  degraded : ((int * int) * Rat.t) list;
+}
+
+let no_damage = { dead_edges = []; dead_nodes = []; degraded = [] }
+
+type report = {
+  survivor : Platform.t;
+  schedule : Schedule.t;
+  throughput_before : float;
+  throughput_after : float;
+  retention : float;
+  lb_after : float option;
+  replan_seconds : float;
+  refill_periods : int;
+  lost_targets : int list;
+}
+
+let apply_damage (p : Platform.t) damage =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let g = p.Platform.graph in
+  let n = Digraph.n_nodes g in
+  let missing =
+    List.find_opt (fun (u, v) -> not (Digraph.mem_edge g ~src:u ~dst:v)) damage.dead_edges
+  in
+  let missing_deg =
+    List.find_opt
+      (fun ((u, v), _) -> not (Digraph.mem_edge g ~src:u ~dst:v))
+      damage.degraded
+  in
+  match (missing, missing_deg) with
+  | Some (u, v), _ -> err "cannot kill edge %d->%d: platform has no such edge" u v
+  | _, Some ((u, v), _) -> err "cannot degrade edge %d->%d: platform has no such edge" u v
+  | None, None ->
+    if List.exists (fun ((_, _), f) -> Rat.(f < one)) damage.degraded then
+      Error "degradation factors must be >= 1 (slowdowns, not speedups)"
+    else if List.mem p.Platform.source damage.dead_nodes then
+      Error "unrecoverable: the source node failed"
+    else if List.exists (fun v -> v < 0 || v >= n) damage.dead_nodes then
+      Error "dead node out of range"
+    else begin
+      let dead_edge = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace dead_edge e ()) damage.dead_edges;
+      let factor = Hashtbl.create 16 in
+      List.iter
+        (fun (e, f) ->
+          let prev = Option.value ~default:Rat.one (Hashtbl.find_opt factor e) in
+          Hashtbl.replace factor e (Rat.mul prev f))
+        damage.degraded;
+      let g' = Digraph.create n in
+      for v = 0 to n - 1 do
+        Digraph.set_label g' v (Digraph.label g v)
+      done;
+      Digraph.iter_edges
+        (fun e ->
+          let key = (e.Digraph.src, e.Digraph.dst) in
+          if not (Hashtbl.mem dead_edge key) then begin
+            let f = Option.value ~default:Rat.one (Hashtbl.find_opt factor key) in
+            Digraph.add_edge g' ~src:e.Digraph.src ~dst:e.Digraph.dst
+              ~cost:(Rat.mul e.Digraph.cost f)
+          end)
+        g;
+      let surviving_targets =
+        List.filter (fun t -> not (List.mem t damage.dead_nodes)) p.Platform.targets
+      in
+      if surviving_targets = [] then Error "unrecoverable: every target failed"
+      else begin
+        try
+          let fresh =
+            Platform.make ~kinds:p.Platform.kinds g' ~source:p.Platform.source
+              ~targets:surviving_targets
+          in
+          Ok
+            (Platform.restrict fresh ~keep:(fun v ->
+                 Platform.is_active p v && not (List.mem v damage.dead_nodes)))
+        with Invalid_argument m -> Error m
+      end
+    end
+
+let plan ?before (p : Platform.t) damage =
+  match apply_damage p damage with
+  | Error e -> Error e
+  | Ok survivor ->
+    let throughput_before =
+      match before with
+      | Some s -> Rat.to_float s.Schedule.throughput
+      | None -> (
+        match Mcph.run p with
+        | None -> nan
+        | Some r -> Rat.to_float (Rat.inv r.Mcph.period))
+    in
+    if not (Platform.is_feasible survivor) then
+      Error "unrecoverable: a surviving target is unreachable from the source"
+    else begin
+      let t0 = Unix.gettimeofday () in
+      match Mcph.run survivor with
+      | None -> Error "unrecoverable: no multicast tree on the surviving platform"
+      | Some r ->
+        let set = Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ] in
+        let schedule = Schedule.of_tree_set set in
+        let replan_seconds = Unix.gettimeofday () -. t0 in
+        let throughput_after = Rat.to_float schedule.Schedule.throughput in
+        let lb_after =
+          Option.map
+            (fun (s : Formulations.solution) -> s.Formulations.throughput)
+            (Formulations.multicast_lb survivor)
+        in
+        Ok
+          {
+            survivor;
+            schedule;
+            throughput_before;
+            throughput_after;
+            retention = throughput_after /. throughput_before;
+            lb_after;
+            replan_seconds;
+            refill_periods = Schedule.init_periods schedule;
+            lost_targets =
+              List.filter (fun t -> List.mem t damage.dead_nodes) p.Platform.targets;
+          }
+    end
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "repair: throughput %.6f -> %.6f (retention %.1f%%), LB after %s, re-plan %.3fs, \
+     re-fill %d periods%s"
+    r.throughput_before r.throughput_after (100. *. r.retention)
+    (match r.lb_after with None -> "infeasible" | Some b -> Printf.sprintf "%.6f" b)
+    r.replan_seconds r.refill_periods
+    (match r.lost_targets with
+    | [] -> ""
+    | ts -> Printf.sprintf ", lost targets: %s" (String.concat "," (List.map string_of_int ts)))

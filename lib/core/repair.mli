@@ -1,0 +1,53 @@
+(** Recovery planning after platform failures.
+
+    The paper's steady-state machinery assumes a static platform. The
+    resilience subsystem relaxes that: a {!damage} record describes which
+    links and nodes died (and which links degraded) by the time re-planning
+    starts; {!plan} removes them from the platform, re-runs the tree-set
+    construction on the surviving graph and builds a fresh periodic
+    {!Schedule.t}, reporting what the failure cost.
+
+    Recovery cost has two components, both reported: the {e re-plan time}
+    (wall-clock spent constructing the new schedule) and the {e pipeline
+    re-fill} ({!Schedule.init_periods} of the new schedule — periods before
+    the first post-repair message reaches the deepest target). The
+    steady-state loss is [throughput_before - throughput_after]; the LP
+    lower bound re-solved on the survivor ([lb_after]) says how much of the
+    drop is intrinsic to the degraded platform rather than to the planner. *)
+
+type damage = {
+  dead_edges : (int * int) list;  (** directed edges that no longer exist *)
+  dead_nodes : int list;  (** failed processors (never the source) *)
+  degraded : ((int * int) * Rat.t) list;
+      (** surviving edges whose cost is multiplied by the factor ([>= 1]) *)
+}
+
+val no_damage : damage
+
+(** [apply_damage p damage] is the surviving platform: dead edges removed,
+    degraded edge costs scaled, dead nodes (and their targets) restricted
+    away. Node ids are stable. Errors on: killing the source, killing every
+    target, damaging edges the platform does not have, or factors [< 1]. *)
+val apply_damage : Platform.t -> damage -> (Platform.t, string) result
+
+type report = {
+  survivor : Platform.t;
+  schedule : Schedule.t;  (** passes {!Schedule.check}; simulator-verified upstream *)
+  throughput_before : float;
+      (** steady-state throughput of the pre-failure schedule *)
+  throughput_after : float;
+  retention : float;  (** [throughput_after / throughput_before] *)
+  lb_after : float option;
+      (** Multicast-LB throughput on the survivor ([None] if infeasible) *)
+  replan_seconds : float;
+  refill_periods : int;  (** pipeline depth of the repaired schedule *)
+  lost_targets : int list;  (** targets that died with their node *)
+}
+
+(** [plan ?before p damage] re-plans on the surviving platform. [before] is
+    the schedule that was running (its throughput is the baseline; when
+    absent the baseline is a fresh MCPH plan on the undamaged platform).
+    Errors when the survivor cannot serve the remaining targets. *)
+val plan : ?before:Schedule.t -> Platform.t -> damage -> (report, string) result
+
+val pp_report : Format.formatter -> report -> unit

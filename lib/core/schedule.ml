@@ -111,6 +111,8 @@ let of_tree_set s =
     throughput = Tree_set.throughput s;
   }
 
+let with_transfers sched transfers = { sched with transfers }
+
 let check sched =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let platform = sched.trees.(0).Multicast_tree.platform in

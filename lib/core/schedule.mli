@@ -38,6 +38,12 @@ type t = private {
     infeasible. *)
 val of_tree_set : Tree_set.t -> t
 
+(** [with_transfers sched transfers] replaces the transfer list verbatim,
+    with {e no} validation: the result may violate every schedule invariant.
+    Used to splice repaired transfer lists and, in tests, to hand-corrupt
+    schedules that {!check} and the simulator must then reject. *)
+val with_transfers : t -> transfer list -> t
+
 (** [check sched] re-verifies the schedule: transfers use platform edges of
     their tree, per-node port exclusivity holds at every instant, each tree
     edge carries exactly [m_k] messages per period, and every transfer fits

@@ -137,7 +137,7 @@ let leaving t q =
 
 type phase_result = P_optimal | P_unbounded | P_stalled
 
-let run_phase t ~allow =
+let run_phase t ~max_iter ~allow =
   let iter = ref 0 in
   let t0 = Unix.gettimeofday () in
   let bland = ref false in
@@ -145,7 +145,7 @@ let run_phase t ~allow =
   let last_obj = ref t.cost.(t.ncols) in
   let result = ref None in
   while !result = None do
-    if !iter >= max_iterations then result := Some P_stalled
+    if !iter >= max_iter then result := Some P_stalled
     else begin
       match entering t ~bland:!bland ~allow with
       | None -> result := Some P_optimal
@@ -268,7 +268,7 @@ let set_cost t coeffs =
     end
   done
 
-let solve model =
+let solve ?(max_iter = max_iterations) model =
   let t, maximize, obj, aux_col, aux_sign = build model in
   let has_art = t.ncols > t.art_start in
   let phase1 =
@@ -279,7 +279,7 @@ let solve model =
       (* The phase-1 objective is bounded below by zero: if the initial
          basis already sits at zero we are optimal without pivoting. *)
       if abs_float t.cost.(t.ncols) <= epsilon then P_optimal
-      else run_phase t ~allow:(fun _ -> true)
+      else run_phase t ~max_iter ~allow:(fun _ -> true)
     end
   in
   match phase1 with
@@ -294,7 +294,7 @@ let solve model =
       let sign = if maximize then -1.0 else 1.0 in
       set_cost t (List.map (fun (c, v) -> (sign *. c, v)) obj);
       let allow j = j < t.art_start in
-      match run_phase t ~allow with
+      match run_phase t ~max_iter ~allow with
       | P_stalled -> Stalled
       | P_unbounded -> Unbounded
       | P_optimal ->

@@ -24,8 +24,10 @@ type status =
   | Unbounded
   | Stalled  (** iteration cap hit; treat as a solver failure *)
 
-(** [solve model] runs two-phase simplex on the model. *)
-val solve : Lp_model.t -> status
+(** [solve ?max_iter model] runs two-phase simplex on the model. [max_iter]
+    caps the pivot count per phase (default 200_000); exceeding it yields
+    [Stalled]. Tests use tiny caps to provoke stalls deterministically. *)
+val solve : ?max_iter:int -> Lp_model.t -> status
 
 (** [solve_exn model] unwraps [Optimal] and raises [Failure] otherwise. *)
 val solve_exn : Lp_model.t -> solution

@@ -1,0 +1,46 @@
+type status =
+  | Optimal of Simplex.solution * [ `Float | `Exact ]
+  | Infeasible
+  | Unbounded
+
+let debug = Sys.getenv_opt "MCAST_LP_DEBUG" <> None
+
+(* Lp_model coefficients are floats, i.e. dyadic rationals: of_float_exact
+   reproduces the model bit-for-bit in exact arithmetic. *)
+let solve_exact model =
+  let maximize, obj = Lp_model.objective model in
+  let conv expr = List.map (fun (c, v) -> (Rat.of_float_exact c, v)) expr in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (expr, cmp, rhs) -> (conv expr, cmp, Rat.of_float_exact rhs))
+         (Lp_model.rows model))
+  in
+  match
+    Simplex_exact.solve ~n_vars:(Lp_model.n_vars model) ~maximize ~objective:(conv obj) rows
+  with
+  | Simplex_exact.Infeasible -> Infeasible
+  | Simplex_exact.Unbounded -> Unbounded
+  | Simplex_exact.Optimal sol ->
+    Optimal
+      ( {
+          Simplex.values = Array.map Rat.to_float sol.Simplex_exact.values;
+          objective = Rat.to_float sol.Simplex_exact.objective;
+          row_duals = [||];
+        },
+        `Exact )
+
+let finite_solution (s : Simplex.solution) =
+  Float.is_finite s.Simplex.objective
+  && Array.for_all Float.is_finite s.Simplex.values
+
+let solve_with_fallback ?max_iter model =
+  match Simplex.solve ?max_iter model with
+  | Simplex.Optimal sol when finite_solution sol -> Optimal (sol, `Float)
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Stalled | Simplex.Optimal _ ->
+    if debug then
+      Printf.eprintf "[solver-chain] float engine failed (%d vars, %d rows); exact retry\n%!"
+        (Lp_model.n_vars model) (Lp_model.n_constraints model);
+    solve_exact model

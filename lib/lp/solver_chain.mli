@@ -1,0 +1,28 @@
+(** Solver robustness chain: float simplex with an exact-arithmetic fallback.
+
+    Degraded or near-degenerate platforms (the failure scenarios of the
+    resilience subsystem) produce LPs that can stall the float engine or
+    return numerically broken solutions. Rather than surfacing that as a
+    silent [None] bound, [solve_with_fallback] retries the {e same} model on
+    {!Simplex_exact}: every [Lp_model] coefficient is a float, hence a dyadic
+    rational, so the exact re-solve is faithful to the model as stated.
+
+    The exact engine produces no dual values; a fallback solution carries
+    [row_duals = [||]] and is tagged [`Exact] so that column- and
+    cut-generation loops know to accept the current master optimum instead of
+    pricing further. *)
+
+type status =
+  | Optimal of Simplex.solution * [ `Float | `Exact ]
+      (** [`Exact] solutions have [row_duals = [||]] (duals unavailable). *)
+  | Infeasible
+  | Unbounded
+
+(** [solve_with_fallback ?max_iter model] runs {!Simplex.solve} and, when it
+    stalls or returns a non-finite solution, re-solves exactly. [max_iter] is
+    forwarded to the float engine. *)
+val solve_with_fallback : ?max_iter:int -> Lp_model.t -> status
+
+(** [solve_exact model] solves the model directly on {!Simplex_exact}
+    (coefficients converted exactly); exposed for tests and cross-checks. *)
+val solve_exact : Lp_model.t -> status

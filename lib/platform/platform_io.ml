@@ -16,16 +16,19 @@ let to_string (p : Platform.t) =
   Buffer.contents buf
 
 type parse_state = {
-  mutable nodes : int option;
-  mutable source : int option;
-  mutable targets : int list option;
-  mutable labels : (int * string) list;
-  mutable edges : (int * int * Rat.t) list;
+  (* scalar directives remember the line that set them, to report duplicates *)
+  mutable nodes : (int * int) option;
+  mutable source : (int * int) option;
+  mutable targets : (int list * int) option;
+  (* labels/edges keep their line number so construction errors cite it *)
+  mutable labels : (int * string * int) list;
+  mutable edges : (int * int * Rat.t * int) list;
 }
 
 let of_string s =
   let st = { nodes = None; source = None; targets = None; labels = []; edges = [] } in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let dup name lineno prev = err "line %d: duplicate '%s' (first on line %d)" lineno name prev in
   let lines = String.split_on_char '\n' s in
   let parse_line lineno line =
     let line = String.trim line in
@@ -33,39 +36,46 @@ let of_string s =
     else
       match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
       | [ "nodes"; n ] -> (
-        match int_of_string_opt n with
-        | Some n when n > 0 ->
-          st.nodes <- Some n;
+        match (st.nodes, int_of_string_opt n) with
+        | Some (_, prev), _ -> dup "nodes" lineno prev
+        | None, Some n when n > 0 ->
+          st.nodes <- Some (n, lineno);
           Ok ()
-        | _ -> err "line %d: bad node count" lineno)
+        | None, _ -> err "line %d: bad node count %S (want a positive integer)" lineno n)
       | [ "source"; v ] -> (
-        match int_of_string_opt v with
-        | Some v ->
-          st.source <- Some v;
+        match (st.source, int_of_string_opt v) with
+        | Some (_, prev), _ -> dup "source" lineno prev
+        | None, Some v ->
+          st.source <- Some (v, lineno);
           Ok ()
-        | None -> err "line %d: bad source" lineno)
+        | None, None -> err "line %d: bad source %S (want an integer node id)" lineno v)
       | "targets" :: rest -> (
-        match List.map int_of_string_opt rest with
-        | ts when List.for_all Option.is_some ts ->
-          st.targets <- Some (List.map Option.get ts);
-          Ok ()
-        | _ -> err "line %d: bad targets" lineno)
+        match st.targets with
+        | Some (_, prev) -> dup "targets" lineno prev
+        | None -> (
+          match List.map int_of_string_opt rest with
+          | ts when ts <> [] && List.for_all Option.is_some ts ->
+            st.targets <- Some (List.map Option.get ts, lineno);
+            Ok ()
+          | [] -> err "line %d: 'targets' needs at least one node id" lineno
+          | _ -> err "line %d: bad targets (want integer node ids)" lineno))
       | [ "label"; v; name ] -> (
         match int_of_string_opt v with
         | Some v ->
-          st.labels <- (v, name) :: st.labels;
+          st.labels <- (v, name, lineno) :: st.labels;
           Ok ()
-        | None -> err "line %d: bad label" lineno)
+        | None -> err "line %d: bad label node id %S" lineno v)
       | [ "edge"; u; v; c ] -> (
         match (int_of_string_opt u, int_of_string_opt v) with
         | Some u, Some v -> (
           match Rat.of_string c with
           | cost ->
-            st.edges <- (u, v, cost) :: st.edges;
+            st.edges <- (u, v, cost, lineno) :: st.edges;
             Ok ()
-          | exception _ -> err "line %d: bad cost %s" lineno c)
+          | exception _ -> err "line %d: bad cost %S (want n or n/d)" lineno c)
         | _ -> err "line %d: bad edge endpoints" lineno)
-      | _ -> err "line %d: unknown directive: %s" lineno line
+      | [] -> Ok ()
+      | tok :: _ -> err "line %d: unknown directive %S" lineno tok
   in
   let rec go lineno = function
     | [] -> Ok ()
@@ -74,6 +84,10 @@ let of_string s =
       | Ok () -> go (lineno + 1) rest
       | Error _ as e -> e)
   in
+  (* Fold Result through a list, keeping the first error. *)
+  let iter_result f l =
+    List.fold_left (fun acc x -> match acc with Ok () -> f x | e -> e) (Ok ()) l
+  in
   match go 1 lines with
   | Error _ as e -> e
   | Ok () -> (
@@ -81,20 +95,55 @@ let of_string s =
     | None, _, _ -> Error "missing 'nodes' directive"
     | _, None, _ -> Error "missing 'source' directive"
     | _, _, None -> Error "missing 'targets' directive"
-    | Some n, Some source, Some targets -> (
-      try
-        let g = Digraph.create n in
-        List.iter (fun (v, name) -> Digraph.set_label g v name) (List.rev st.labels);
-        List.iter (fun (u, v, cost) -> Digraph.add_edge g ~src:u ~dst:v ~cost) (List.rev st.edges);
-        Ok (Platform.make g ~source ~targets)
-      with Invalid_argument m -> Error m))
+    | Some (n, _), Some (source, _), Some (targets, _) -> (
+      let g = Digraph.create n in
+      let labelled =
+        iter_result
+          (fun (v, name, lineno) ->
+            if v < 0 || v >= n then
+              err "line %d: label node %d out of range (platform has %d nodes)" lineno v n
+            else begin
+              Digraph.set_label g v name;
+              Ok ()
+            end)
+          (List.rev st.labels)
+      in
+      match labelled with
+      | Error _ as e -> e
+      | Ok () -> (
+        let added =
+          iter_result
+            (fun (u, v, cost, lineno) ->
+              if u < 0 || u >= n || v < 0 || v >= n then
+                err "line %d: edge %d->%d out of range (platform has %d nodes)" lineno u v n
+              else if u = v then err "line %d: self-loop edge %d->%d" lineno u v
+              else if Digraph.mem_edge g ~src:u ~dst:v then
+                err "line %d: duplicate edge %d->%d" lineno u v
+              else if Rat.(cost <= zero) then
+                err "line %d: edge %d->%d cost must be positive" lineno u v
+              else begin
+                Digraph.add_edge g ~src:u ~dst:v ~cost;
+                Ok ()
+              end)
+            (List.rev st.edges)
+        in
+        match added with
+        | Error _ as e -> e
+        | Ok () -> (
+          try Ok (Platform.make g ~source ~targets) with Invalid_argument m -> Error m))))
 
 let save path p =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string p))
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> of_string s
+        | exception End_of_file -> Error (path ^ ": truncated read")
+        | exception Sys_error m -> Error m)

@@ -16,10 +16,14 @@
 (** [to_string p] renders an instance. *)
 val to_string : Platform.t -> string
 
-(** [of_string s] parses an instance. *)
+(** [of_string s] parses an instance. Every malformed input — bad integers
+    or costs, duplicate directives, out-of-range or duplicate edges and
+    labels — is reported as [Error] with the offending line number; no
+    exception escapes. *)
 val of_string : string -> (Platform.t, string) Result.t
 
-(** File wrappers around the string functions. *)
+(** File wrappers around the string functions. [load] turns I/O failures
+    (missing file, truncated read) into [Error] as well. *)
 val save : string -> Platform.t -> unit
 
 val load : string -> (Platform.t, string) Result.t

@@ -22,16 +22,12 @@ type event = {
   e_finish : Rat.t;
 }
 
-let run (sched : Schedule.t) ~periods =
-  if periods < 1 then invalid_arg "Event_sim.run: need at least one period";
+(* Unroll the schedule with the initialization phase: an edge whose tail
+   sits at depth d of its tree idles for the first d periods, then repeats
+   the periodic pattern — so batch p of messages crosses depth-d edges
+   during period p + d, a full period after the tail received it. *)
+let unroll (sched : Schedule.t) ~periods =
   let trees = sched.Schedule.trees in
-  let platform = trees.(0).Multicast_tree.platform in
-  let g = platform.Platform.graph in
-  let n = Platform.n_nodes platform in
-  (* Unroll the schedule with the initialization phase: an edge whose tail
-     sits at depth d of its tree idles for the first d periods, then repeats
-     the periodic pattern — so batch p of messages crosses depth-d edges
-     during period p + d, a full period after the tail received it. *)
   let depth_of tree v = Out_tree.depth tree.Multicast_tree.tree v in
   let events = ref [] in
   List.iter
@@ -50,13 +46,24 @@ let run (sched : Schedule.t) ~periods =
           :: !events
       done)
     sched.Schedule.transfers;
-  let events =
-    List.sort
-      (fun a b ->
-        let c = Rat.compare a.e_start b.e_start in
-        if c <> 0 then c else Rat.compare a.e_finish b.e_finish)
-      !events
-  in
+  List.sort
+    (fun a b ->
+      let c = Rat.compare a.e_start b.e_start in
+      if c <> 0 then c else Rat.compare a.e_finish b.e_finish)
+    !events
+
+(* floor(q) for a non-negative rational, as an int. *)
+let floor_int q =
+  let quot, _ = Zint.ediv_rem (Rat.num q) (Rat.den q) in
+  Option.value ~default:max_int (Zint.to_int quot)
+
+let run (sched : Schedule.t) ~periods =
+  if periods < 1 then invalid_arg "Event_sim.run: need at least one period";
+  let trees = sched.Schedule.trees in
+  let platform = trees.(0).Multicast_tree.platform in
+  let g = platform.Platform.graph in
+  let n = Platform.n_nodes platform in
+  let events = unroll sched ~periods in
   (* 1. Port exclusivity. *)
   let busy_send = Array.make n Rat.zero and busy_recv = Array.make n Rat.zero in
   let exclusivity_ok =
@@ -150,10 +157,54 @@ let run (sched : Schedule.t) ~periods =
     match !causality_violation with
     | Some msg -> Error msg
     | None ->
-      (* 4. Deliveries and throughput. Each tree serves the target set of
-         its own platform view (the full multicast set for ordinary trees,
-         a single destination for scatter-style chains). *)
-      let tree_targets k = trees.(k).Multicast_tree.platform.Platform.targets in
+    (* 4. Delivery completeness. Each tree serves the target set of its own
+       platform view (the full multicast set for ordinary trees, a single
+       destination for scatter-style chains). Batch p of tree k crosses
+       depth-d edges during period p + d, so a target at depth d is
+       unconditionally owed messages 0 .. (periods - d) * m_k - 1 within the
+       horizon — each exactly once. A schedule missing a transfer drops
+       them; a schedule with spurious extra transfers duplicates them. *)
+    let tree_targets k = trees.(k).Multicast_tree.platform.Platform.targets in
+    let delivery_violation = ref None in
+    Array.iteri
+      (fun k per_node ->
+        let tree = trees.(k).Multicast_tree.tree in
+        let m_k = sched.Schedule.per_tree_messages.(k) in
+        List.iter
+          (fun t ->
+            if !delivery_violation = None then begin
+              if not (Out_tree.mem tree t) then
+                delivery_violation :=
+                  Some (Printf.sprintf "tree %d does not span target %d" k t)
+              else begin
+                let due = max 0 ((periods - Out_tree.depth tree t) * m_k) in
+                let seen = Array.make (max due 1) 0 in
+                List.iter
+                  (fun (msg, _) -> if msg >= 0 && msg < due then seen.(msg) <- seen.(msg) + 1)
+                  per_node.(t);
+                for m = 0 to due - 1 do
+                  if !delivery_violation = None then
+                    if seen.(m) = 0 then
+                      delivery_violation :=
+                        Some
+                          (Printf.sprintf
+                             "dropped delivery: tree-%d message %d never reaches target %d" k
+                             m t)
+                    else if seen.(m) > 1 then
+                      delivery_violation :=
+                        Some
+                          (Printf.sprintf
+                             "duplicate delivery: tree-%d message %d reaches target %d %d \
+                              times"
+                             k m t seen.(m))
+                done
+              end
+            end)
+          (tree_targets k))
+      recv_time;
+    match !delivery_violation with
+    | Some msg -> Error msg
+    | None ->
       let deliveries = ref [] in
       Array.iteri
         (fun k per_node ->
@@ -231,3 +282,148 @@ let run (sched : Schedule.t) ~periods =
           deliveries = List.rev !deliveries;
         }
   end
+
+type loss = {
+  l_tree : int;
+  l_target : int;
+  l_message : int;
+}
+
+type fault_stats = {
+  f_periods : int;
+  f_delivered : int;
+  f_losses : loss list;
+  f_completed : int;
+  f_measured_throughput : float;
+}
+
+(* Replay a fixed schedule against a fault scenario. The schedule is NOT
+   re-timed: ports keep their nominal reservations, so a transfer whose
+   link died makes no progress during its slot, and a degraded link
+   accrues progress at rate [1/factor] — messages complete later (or
+   never, within the horizon). Pass 1 computes tentative receptions with
+   begin/completion times; pass 2 validates them in completion order:
+   a reception only counts if the sender is the tree root or itself held
+   a validly-received copy by the moment transmission began, so losses
+   cascade down the tree. *)
+let run_with_faults (sched : Schedule.t) ~faults ~periods =
+  if periods < 1 then invalid_arg "Event_sim.run_with_faults: need at least one period";
+  let trees = sched.Schedule.trees in
+  let platform = trees.(0).Multicast_tree.platform in
+  let g = platform.Platform.graph in
+  let events = unroll sched ~periods in
+  let root_of k = trees.(k).Multicast_tree.platform.Platform.source in
+  let tree_targets k = trees.(k).Multicast_tree.platform.Platform.targets in
+  (* Pass 1: progress arithmetic under faults. *)
+  let progress = Hashtbl.create 64 in
+  let tentative = ref [] in
+  (* (tree, src, dst, msg, t_begin, t_complete) *)
+  List.iter
+    (fun e ->
+      if not (Fault.edge_dead faults ~src:e.e_src ~dst:e.e_dst ~at:e.e_start) then begin
+        let f = Fault.slowdown faults ~src:e.e_src ~dst:e.e_dst ~at:e.e_start in
+        let key = (e.e_tree, e.e_src, e.e_dst) in
+        let before = Option.value ~default:Rat.zero (Hashtbl.find_opt progress key) in
+        let span = Rat.div (Rat.sub e.e_finish e.e_start) f in
+        let after = Rat.add before span in
+        Hashtbl.replace progress key after;
+        let c = Digraph.cost g ~src:e.e_src ~dst:e.e_dst in
+        let next_msg = floor_int (Rat.div before c) in
+        let rec record msg =
+          let completion_progress = Rat.mul (Rat.of_int (msg + 1)) c in
+          if Rat.(completion_progress <= after) then begin
+            let begin_progress = Rat.mul (Rat.of_int msg) c in
+            let t_begin =
+              if Rat.(begin_progress <= before) then e.e_start
+              else Rat.add e.e_start (Rat.mul f (Rat.sub begin_progress before))
+            in
+            let t_complete =
+              Rat.add e.e_start (Rat.mul f (Rat.sub completion_progress before))
+            in
+            tentative := (e.e_tree, e.e_src, e.e_dst, msg, t_begin, t_complete) :: !tentative;
+            record (msg + 1)
+          end
+        in
+        record next_msg
+      end)
+    events;
+  (* Pass 2: validate receptions in completion order — cascading loss. *)
+  let sorted =
+    List.sort
+      (fun (_, _, _, _, _, a) (_, _, _, _, _, b) -> Rat.compare a b)
+      (List.rev !tentative)
+  in
+  let valid = Hashtbl.create 64 in
+  (* (tree, node, msg) -> completion time *)
+  List.iter
+    (fun (k, src, dst, msg, t_begin, t_complete) ->
+      let sender_ok =
+        src = root_of k
+        ||
+        match Hashtbl.find_opt valid (k, src, msg) with
+        | Some t -> Rat.(t <= t_begin)
+        | None -> false
+      in
+      if sender_ok && not (Hashtbl.mem valid (k, dst, msg)) then
+        Hashtbl.replace valid (k, dst, msg) t_complete)
+    sorted;
+  (* Account deliveries and losses against the fault-free expectation:
+     a target at depth d of tree k is owed messages
+     0 .. (periods - d) * m_k - 1 (same window as [run]'s check 4). *)
+  let delivered = ref 0 in
+  let losses = ref [] in
+  let completions = ref [] in
+  Array.iteri
+    (fun k (tree : Multicast_tree.t) ->
+      let m_k = sched.Schedule.per_tree_messages.(k) in
+      let targets = tree_targets k in
+      let n_targets = List.length targets in
+      (* per-message: how many targets validly received it, and when last *)
+      let per_msg = Hashtbl.create 64 in
+      List.iter
+        (fun t ->
+          let d_t =
+            if Out_tree.mem tree.Multicast_tree.tree t then
+              Out_tree.depth tree.Multicast_tree.tree t
+            else periods
+          in
+          let due = max 0 ((periods - d_t) * m_k) in
+          for m = 0 to due - 1 do
+            match Hashtbl.find_opt valid (k, t, m) with
+            | Some time ->
+              incr delivered;
+              let cnt, latest =
+                Option.value ~default:(0, Rat.zero) (Hashtbl.find_opt per_msg m)
+              in
+              Hashtbl.replace per_msg m (cnt + 1, Rat.max latest time)
+            | None -> losses := { l_tree = k; l_target = t; l_message = m } :: !losses
+          done)
+        targets;
+      Hashtbl.iter
+        (fun _ (cnt, latest) -> if cnt = n_targets then completions := latest :: !completions)
+        per_msg)
+    trees;
+  let completed = List.length !completions in
+  (* Same warm window as [run]: unbiased steady-state rate estimate. *)
+  let warm = Schedule.init_periods sched + 1 in
+  let win_start = Rat.mul (Rat.of_int warm) sched.Schedule.period in
+  let win_periods = periods - warm - 1 in
+  let win_end =
+    Rat.add win_start (Rat.mul (Rat.of_int win_periods) sched.Schedule.period)
+  in
+  let in_window =
+    List.length
+      (List.filter (fun t -> Rat.(win_start <= t) && Rat.(t < win_end)) !completions)
+  in
+  let f_measured_throughput =
+    if win_periods > 0 then
+      float_of_int in_window /. Rat.to_float (Rat.sub win_end win_start)
+    else 0.0
+  in
+  {
+    f_periods = periods;
+    f_delivered = !delivered;
+    f_losses = List.rev !losses;
+    f_completed = completed;
+    f_measured_throughput;
+  }

@@ -10,9 +10,9 @@
       received (the source owns all messages from the start; a node at
       depth [d] of tree [k] forwards message [m] only after its own
       reception of [m], which happens one period earlier);
-    - {b delivery}: every target receives every message exactly once per
-      tree, and the measured steady-state throughput matches the schedule's
-      claim.
+    - {b delivery completeness}: a target at depth [d] of tree [k] is owed
+      messages [0 .. (periods - d) * m_k - 1] within the horizon, each
+      exactly once — dropped and duplicated deliveries are both reported.
 
     Message accounting works at whole-message granularity: a busy interval
     carrying [q] messages of cost [c] delivers message boundaries at
@@ -39,3 +39,30 @@ type stats = {
     violation is detected. [periods] must exceed the pipeline depth
     ({!Schedule.init_periods}) for any message to be fully delivered. *)
 val run : Schedule.t -> periods:int -> (stats, string) Result.t
+
+(** One target-message delivery that a fault scenario prevented. *)
+type loss = {
+  l_tree : int;
+  l_target : int;
+  l_message : int;
+}
+
+type fault_stats = {
+  f_periods : int;
+  f_delivered : int;  (** target-message deliveries that still went through *)
+  f_losses : loss list;  (** owed deliveries that never happened *)
+  f_completed : int;  (** multicast instances every target still received *)
+  f_measured_throughput : float;
+      (** surviving steady-state rate, same warm window as {!run} *)
+}
+
+(** [run_with_faults sched ~faults ~periods] replays the {e fixed} schedule
+    against a {!Fault.scenario} — the schedule is not re-timed. A transfer
+    over a dead link makes no progress during its reserved slot; a degraded
+    link accrues progress at rate [1/factor], so messages complete late or
+    not at all within the horizon. Receptions are validated in completion
+    order: one counts only if the sender is the tree root or itself held a
+    validly received copy when transmission began, so a loss near the root
+    cascades to the whole subtree. Unlike {!run} this never aborts — it
+    reports which owed deliveries were lost and what throughput survived. *)
+val run_with_faults : Schedule.t -> faults:Fault.scenario -> periods:int -> fault_stats

@@ -1,0 +1,84 @@
+type event =
+  | Kill_edge of { src : int; dst : int; at : Rat.t }
+  | Kill_node of { node : int; at : Rat.t }
+  | Degrade_edge of { src : int; dst : int; at : Rat.t; factor : Rat.t }
+
+type scenario = event list
+
+let validate (p : Platform.t) s =
+  let g = p.Platform.graph in
+  let n = Digraph.n_nodes g in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec go = function
+    | [] -> Ok ()
+    | Kill_edge { src; dst; at } :: rest ->
+      if not (Digraph.mem_edge g ~src ~dst) then err "kill-edge %d->%d: no such edge" src dst
+      else if Rat.(at < zero) then err "kill-edge %d->%d: negative fire time" src dst
+      else go rest
+    | Kill_node { node; at } :: rest ->
+      if node < 0 || node >= n then err "kill-node %d: out of range" node
+      else if Rat.(at < zero) then err "kill-node %d: negative fire time" node
+      else go rest
+    | Degrade_edge { src; dst; at; factor } :: rest ->
+      if not (Digraph.mem_edge g ~src ~dst) then
+        err "degrade-edge %d->%d: no such edge" src dst
+      else if Rat.(factor < one) then err "degrade-edge %d->%d: factor < 1" src dst
+      else if Rat.(at < zero) then err "degrade-edge %d->%d: negative fire time" src dst
+      else go rest
+  in
+  go s
+
+let edge_dead s ~src ~dst ~at =
+  List.exists
+    (function
+      | Kill_edge e -> e.src = src && e.dst = dst && Rat.(e.at <= at)
+      | Kill_node k -> (k.node = src || k.node = dst) && Rat.(k.at <= at)
+      | Degrade_edge _ -> false)
+    s
+
+let slowdown s ~src ~dst ~at =
+  List.fold_left
+    (fun acc -> function
+      | Degrade_edge d when d.src = src && d.dst = dst && Rat.(d.at <= at) ->
+        Rat.mul acc d.factor
+      | _ -> acc)
+    Rat.one s
+
+let damage s =
+  {
+    Repair.dead_edges =
+      List.filter_map (function Kill_edge e -> Some (e.src, e.dst) | _ -> None) s;
+    dead_nodes = List.filter_map (function Kill_node k -> Some k.node | _ -> None) s;
+    degraded =
+      List.filter_map (function Degrade_edge d -> Some ((d.src, d.dst), d.factor) | _ -> None) s;
+  }
+
+let random_link_kills rng (p : Platform.t) ~rate ~at =
+  let g = p.Platform.graph in
+  let seen = Hashtbl.create 64 in
+  Digraph.fold_edges
+    (fun acc e ->
+      let u = min e.Digraph.src e.Digraph.dst and v = max e.Digraph.src e.Digraph.dst in
+      if Hashtbl.mem seen (u, v) then acc
+      else begin
+        Hashtbl.replace seen (u, v) ();
+        if Random.State.float rng 1.0 < rate then begin
+          let kills = [ Kill_edge { src = e.Digraph.src; dst = e.Digraph.dst; at } ] in
+          if Digraph.mem_edge g ~src:e.Digraph.dst ~dst:e.Digraph.src then
+            Kill_edge { src = e.Digraph.dst; dst = e.Digraph.src; at } :: kills @ acc
+          else kills @ acc
+        end
+        else acc
+      end)
+    [] g
+
+let describe s =
+  let one = function
+    | Kill_edge e ->
+      Printf.sprintf "kill edge %d->%d at %s" e.src e.dst (Rat.to_string e.at)
+    | Kill_node k -> Printf.sprintf "kill node %d at %s" k.node (Rat.to_string k.at)
+    | Degrade_edge d ->
+      Printf.sprintf "degrade edge %d->%d by %s at %s" d.src d.dst (Rat.to_string d.factor)
+        (Rat.to_string d.at)
+  in
+  match s with [] -> "no faults" | s -> String.concat "; " (List.map one s)

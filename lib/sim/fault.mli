@@ -1,0 +1,41 @@
+(** Timed platform failures injected into schedule replay.
+
+    A scenario is a set of fault events, each firing at an absolute time of
+    the unrolled timeline: a link can die ([Kill_edge]), a processor can die
+    with all its ports ([Kill_node]), or a link can degrade — transfers over
+    it take [factor] times longer from then on ([Degrade_edge]). The
+    simulator consults the scenario while replaying a fixed schedule
+    ({!Event_sim.run_with_faults}); the recovery planner consumes the
+    end-state as a {!Repair.damage} once every event has fired. *)
+
+type event =
+  | Kill_edge of { src : int; dst : int; at : Rat.t }
+  | Kill_node of { node : int; at : Rat.t }
+  | Degrade_edge of { src : int; dst : int; at : Rat.t; factor : Rat.t }
+      (** [factor >= 1]: the link's effective capacity divides by it *)
+
+type scenario = event list
+
+(** [validate p s] checks node ids in range, killed/degraded edges present
+    in the platform, factors [>= 1] and fire times [>= 0]. *)
+val validate : Platform.t -> scenario -> (unit, string) result
+
+(** [edge_dead s ~src ~dst ~at] — has a kill (of the edge or an endpoint)
+    fired at or before [at]? *)
+val edge_dead : scenario -> src:int -> dst:int -> at:Rat.t -> bool
+
+(** [slowdown s ~src ~dst ~at] is the product of the degradation factors
+    fired at or before [at] ([Rat.one] when pristine). *)
+val slowdown : scenario -> src:int -> dst:int -> at:Rat.t -> Rat.t
+
+(** [damage s] is the scenario's end state — every event fired — in the
+    recovery planner's vocabulary. *)
+val damage : scenario -> Repair.damage
+
+(** [random_link_kills rng p ~rate ~at] kills each {e undirected} link
+    (both directions) independently with probability [rate], all at time
+    [at] — the failure generator of the resilience benchmark sweep. *)
+val random_link_kills :
+  Random.State.t -> Platform.t -> rate:float -> at:Rat.t -> scenario
+
+val describe : scenario -> string

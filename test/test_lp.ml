@@ -148,6 +148,47 @@ let test_exact_statuses () =
   | Simplex_exact.Unbounded -> ()
   | _ -> Alcotest.fail "expected unbounded"
 
+(* --- fallback chain: stalled float solver rescued by the exact engine --- *)
+
+(* max x st x <= 3, x >= 1. The Ge row forces a phase-1 artificial, so with
+   a zero iteration budget the float simplex stalls deterministically —
+   exactly the failure mode solve_with_fallback must absorb. *)
+let stall_model () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" in
+  Lp_model.add_constraint m [ (1.0, x) ] Le 3.0;
+  Lp_model.add_constraint m [ (1.0, x) ] Ge 1.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x) ];
+  m
+
+let test_fallback_on_stall () =
+  let m = stall_model () in
+  (match Simplex.solve ~max_iter:0 m with
+  | Simplex.Stalled -> ()
+  | _ -> Alcotest.fail "expected the capped float solver to stall");
+  match Solver_chain.solve_with_fallback ~max_iter:0 m with
+  | Solver_chain.Optimal (sol, `Exact) ->
+    check_f "exact objective" 3.0 sol.Simplex.objective;
+    check_f "exact x" 3.0 sol.Simplex.values.(0)
+  | Solver_chain.Optimal (_, `Float) -> Alcotest.fail "float engine should have stalled"
+  | _ -> Alcotest.fail "fallback did not recover the optimum"
+
+let test_fallback_passthrough () =
+  (* A healthy model stays on the float engine... *)
+  let m = stall_model () in
+  (match Solver_chain.solve_with_fallback m with
+  | Solver_chain.Optimal (sol, `Float) -> check_f "float objective" 3.0 sol.Simplex.objective
+  | _ -> Alcotest.fail "expected a float optimum");
+  (* ...and infeasibility is never masked by the fallback. *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" in
+  Lp_model.add_constraint m [ (1.0, x) ] Le 1.0;
+  Lp_model.add_constraint m [ (1.0, x) ] Ge 2.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x) ];
+  match Solver_chain.solve_with_fallback ~max_iter:0 m with
+  | Solver_chain.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible from the exact engine"
+
 (* --- engines agree on random bounded instances --- *)
 
 (* Random LP: maximize a non-negative objective over rows sum(coef x) <= rhs
@@ -260,5 +301,7 @@ let suite =
     ("exact: classic", `Quick, test_exact_classic);
     ("exact: fractional optimum", `Quick, test_exact_fractional);
     ("exact: statuses", `Quick, test_exact_statuses);
+    ("fallback: stalled float rescued exactly", `Quick, test_fallback_on_stall);
+    ("fallback: passthrough and infeasible", `Quick, test_fallback_passthrough);
   ]
   @ lp_props

@@ -15,5 +15,6 @@ let () =
       ("scatter", Test_scatter.suite);
       ("heuristic_schedules", Test_heuristic_schedules.suite);
       ("schedule", Test_schedule.suite);
+      ("resilience", Test_resilience.suite);
       ("prefix", Test_prefix.suite);
     ]

@@ -54,6 +54,35 @@ let test_parse_errors () =
   bad "nodes 3\nsource 0\ntargets 1\nbogus directive\n";
   bad "nodes 3\nsource 0\ntargets 0\n" (* source cannot be target *)
 
+(* Malformed input must come back as [Error] citing the offending line —
+   never as an escaped exception. *)
+let test_error_line_numbers () =
+  let expect_line text line =
+    match Platform_io.of_string text with
+    | Ok _ -> Alcotest.failf "accepted bad input: %s" text
+    | Error e ->
+      let prefix = Printf.sprintf "line %d:" line in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S cites line %d" e line)
+        true
+        (String.length e >= String.length prefix
+        && String.sub e 0 (String.length prefix) = prefix)
+  in
+  expect_line "nodes abc\n" 1;
+  expect_line "nodes 3\nsource zero\n" 2;
+  expect_line "nodes 3\nsource 0\ntargets 1\nedge 0 1 abc\n" 4;
+  expect_line "nodes 3\nsource 0\ntargets 1\nedge 0 1 2\nedge 0 9 1\n" 5;
+  expect_line "nodes 3\nsource 0\ntargets 1\nlabel 7 far\n" 4;
+  expect_line "nodes 3\nnodes 4\n" 2;
+  expect_line "nodes 3\nsource 0\ntargets 1\ntargets 2\n" 4;
+  expect_line "nodes 3\nsource 0\ntargets 1\nedge 0 1 2\nedge 0 1 3\n" 5;
+  expect_line "nodes 3\nsource 0\ntargets 1\nedge 1 1 2\n" 4
+
+let test_load_missing_file () =
+  match Platform_io.load "/nonexistent/mcast-platform.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file must be an Error"
+
 let test_file_io () =
   let p = Paper_platforms.two_relay () in
   let path = Filename.temp_file "mcast" ".txt" in
@@ -70,5 +99,7 @@ let suite =
     ("roundtrip", `Quick, test_roundtrip);
     ("parse minimal", `Quick, test_parse_minimal);
     ("parse errors", `Quick, test_parse_errors);
+    ("errors cite line numbers", `Quick, test_error_line_numbers);
+    ("load missing file", `Quick, test_load_missing_file);
     ("file io", `Quick, test_file_io);
   ]

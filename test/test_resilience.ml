@@ -1,0 +1,328 @@
+(* Tests for the fault-tolerance subsystem: failure injection into the
+   discrete-event replay, hand-corrupted schedules tripping the simulator's
+   violation detectors, and the recovery planner. *)
+
+let q = Rat.of_ints
+
+let two_relay_set () =
+  let p = Paper_platforms.two_relay () in
+  let via r = Multicast_tree.of_edges_exn p [ (0, r); (r, 3); (r, 4) ] in
+  Tree_set.make [ (via 1, q 1 2); (via 2, q 1 2) ]
+
+let two_relay_sched () = Schedule.of_tree_set (two_relay_set ())
+
+(* --- faulty replay ----------------------------------------------------- *)
+
+let test_no_faults_is_lossless () =
+  let sched = two_relay_sched () in
+  let clean = Result.get_ok (Event_sim.run sched ~periods:12) in
+  let fs = Event_sim.run_with_faults sched ~faults:[] ~periods:12 in
+  Alcotest.(check (list (triple int int int)))
+    "no losses" []
+    (List.map
+       (fun l -> (l.Event_sim.l_tree, l.Event_sim.l_target, l.Event_sim.l_message))
+       fs.Event_sim.f_losses);
+  Alcotest.(check bool) "deliveries happened" true (fs.Event_sim.f_delivered > 0);
+  Alcotest.(check (float 0.02))
+    "same steady-state rate as the clean replay" clean.Event_sim.measured_throughput
+    fs.Event_sim.f_measured_throughput
+
+let test_kill_edge_loses_subtree () =
+  (* Killing 0->1 at time 0 starves relay 1: every delivery of tree 0 (the
+     one routed via relay 1) is lost — both at 3 and, by cascade, at 4 —
+     while tree 1 via relay 2 is untouched. *)
+  let sched = two_relay_sched () in
+  let faults = [ Fault.Kill_edge { src = 0; dst = 1; at = Rat.zero } ] in
+  let fs = Event_sim.run_with_faults sched ~faults ~periods:12 in
+  let clean = Event_sim.run_with_faults sched ~faults:[] ~periods:12 in
+  Alcotest.(check bool) "losses reported" true (fs.Event_sim.f_losses <> []);
+  (* exactly one of the two trees dies: half the owed deliveries *)
+  Alcotest.(check int) "half the deliveries survive"
+    (clean.Event_sim.f_delivered / 2)
+    fs.Event_sim.f_delivered;
+  let hit_trees =
+    List.sort_uniq compare (List.map (fun l -> l.Event_sim.l_tree) fs.Event_sim.f_losses)
+  in
+  Alcotest.(check bool) "losses confined to one tree" true (List.length hit_trees = 1);
+  (* completion is tracked per tree instance: the surviving tree's
+     instances still complete, the dead tree's never do *)
+  Alcotest.(check int) "half the instances still complete"
+    (clean.Event_sim.f_completed / 2)
+    fs.Event_sim.f_completed
+
+let test_late_kill_spares_early_batches () =
+  let sched = two_relay_sched () in
+  let late = Rat.mul (Rat.of_int 6) sched.Schedule.period in
+  let fs_late =
+    Event_sim.run_with_faults sched
+      ~faults:[ Fault.Kill_edge { src = 0; dst = 1; at = late } ]
+      ~periods:12
+  in
+  let fs_early =
+    Event_sim.run_with_faults sched
+      ~faults:[ Fault.Kill_edge { src = 0; dst = 1; at = Rat.zero } ]
+      ~periods:12
+  in
+  Alcotest.(check bool) "later failure loses strictly less" true
+    (List.length fs_late.Event_sim.f_losses < List.length fs_early.Event_sim.f_losses);
+  Alcotest.(check bool) "early batches complete before the failure" true
+    (fs_late.Event_sim.f_completed > 0)
+
+let test_kill_node_kills_both_ports () =
+  let sched = two_relay_sched () in
+  let fs =
+    Event_sim.run_with_faults sched
+      ~faults:[ Fault.Kill_node { node = 1; at = Rat.zero } ]
+      ~periods:12
+  in
+  (* Node 1 is only a relay of tree 0: tree 1 is untouched, so the loss set
+     is nonempty but not total. *)
+  Alcotest.(check bool) "losses reported" true (fs.Event_sim.f_losses <> []);
+  Alcotest.(check bool) "other tree still delivers" true (fs.Event_sim.f_delivered > 0)
+
+let test_degrade_slows_but_delivers_late () =
+  (* A factor-3 slowdown of a relay edge: nothing owed is dropped outright
+     only if slack allows; here the port is saturated (weight-1/2 trees on
+     unit edges), so late completions push deliveries out of the horizon
+     and losses appear — but strictly fewer than an outright kill. *)
+  let sched = two_relay_sched () in
+  let kill =
+    Event_sim.run_with_faults sched
+      ~faults:[ Fault.Kill_edge { src = 1; dst = 3; at = Rat.zero } ]
+      ~periods:12
+  in
+  let slow =
+    Event_sim.run_with_faults sched
+      ~faults:[ Fault.Degrade_edge { src = 1; dst = 3; at = Rat.zero; factor = Rat.of_int 3 } ]
+      ~periods:12
+  in
+  Alcotest.(check bool) "degradation strictly milder than kill" true
+    (List.length slow.Event_sim.f_losses < List.length kill.Event_sim.f_losses);
+  Alcotest.(check bool) "degradation still hurts a saturated port" true
+    (slow.Event_sim.f_losses <> [])
+
+let test_fault_validation () =
+  let p = Paper_platforms.two_relay () in
+  let bad s =
+    match Fault.validate p s with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "scenario should have been rejected"
+  in
+  bad [ Fault.Kill_edge { src = 3; dst = 0; at = Rat.zero } ];
+  bad [ Fault.Kill_node { node = 99; at = Rat.zero } ];
+  bad [ Fault.Degrade_edge { src = 0; dst = 1; at = Rat.zero; factor = q 1 2 } ];
+  bad [ Fault.Kill_node { node = 1; at = Rat.of_int (-1) } ];
+  match Fault.validate p [ Fault.Kill_edge { src = 0; dst = 1; at = Rat.zero } ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- hand-corrupted schedules trip the replay detectors --------------- *)
+
+let test_detects_port_overlap () =
+  let sched = two_relay_sched () in
+  (* Shift one transfer so its source-port busy interval overlaps another
+     send from the same node. The two_relay schedule serializes node 0's
+     sends back to back: moving the second one half a slot earlier collides. *)
+  let shifted = ref false in
+  let transfers =
+    List.map
+      (fun (tr : Schedule.transfer) ->
+        if (not !shifted) && tr.Schedule.src = 0 && Rat.(tr.Schedule.start > zero) then begin
+          shifted := true;
+          let d = q 1 2 in
+          { tr with Schedule.start = Rat.sub tr.Schedule.start d;
+                    finish = Rat.sub tr.Schedule.finish d }
+        end
+        else tr)
+      sched.Schedule.transfers
+  in
+  Alcotest.(check bool) "corruption applied" true !shifted;
+  match Event_sim.run (Schedule.with_transfers sched transfers) ~periods:8 with
+  | Error e ->
+    Alcotest.(check bool) ("one-port error: " ^ e) true
+      (String.length e >= 8 && String.sub e 0 8 = "one-port")
+  | Ok _ -> Alcotest.fail "overlapping sends on one port went undetected"
+
+let test_detects_causality_violation () =
+  (* Chain 0 -> 1 -> 2 with unit costs, weight 1: node 1 receives message p
+     at time p+1 and forwards during [p+1, p+2). Shifting the upstream edge
+     (0,1) half a unit later delays reception to p+3/2 while node 1 still
+     forwards at p+1 — forwarding before reception, with every port still
+     conflict-free. *)
+  let p = Generators.chain ~length:2 ~cost:Rat.one in
+  let t = Multicast_tree.of_edges_exn p [ (0, 1); (1, 2) ] in
+  let sched = Schedule.of_tree_set (Tree_set.make [ (t, Rat.one) ]) in
+  let transfers =
+    List.map
+      (fun (tr : Schedule.transfer) ->
+        if tr.Schedule.src = 0 then
+          { tr with Schedule.start = Rat.add tr.Schedule.start (q 1 2);
+                    finish = Rat.add tr.Schedule.finish (q 1 2) }
+        else tr)
+      sched.Schedule.transfers
+  in
+  match Event_sim.run (Schedule.with_transfers sched transfers) ~periods:8 with
+  | Error e ->
+    Alcotest.(check bool) ("causality error: " ^ e) true
+      (String.length e > 0
+      && (String.sub e 0 4 = "node" || String.sub e 0 7 = "dropped"))
+  | Ok _ -> Alcotest.fail "forwarding before reception went undetected"
+
+let test_detects_dropped_delivery () =
+  (* Removing a leaf transfer leaves every remaining transfer legal — only
+     the delivery-completeness check can notice the hole. *)
+  let sched = two_relay_sched () in
+  let victim =
+    List.find (fun (tr : Schedule.transfer) -> tr.Schedule.dst = 4) sched.Schedule.transfers
+  in
+  let transfers = List.filter (fun tr -> tr <> victim) sched.Schedule.transfers in
+  match Event_sim.run (Schedule.with_transfers sched transfers) ~periods:8 with
+  | Error e ->
+    Alcotest.(check bool) ("dropped-delivery error: " ^ e) true
+      (String.length e >= 7 && String.sub e 0 7 = "dropped")
+  | Ok _ -> Alcotest.fail "a missing delivery went undetected"
+
+let test_intact_schedules_still_pass () =
+  (* The new detector must not reject the honest schedules. *)
+  List.iter
+    (fun (name, sched, periods) ->
+      match Event_sim.run sched ~periods with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s rejected: %s" name e)
+    [
+      ("two_relay", two_relay_sched (), 12);
+      ( "chain",
+        Schedule.of_tree_set
+          (Tree_set.make
+             [
+               ( Multicast_tree.of_edges_exn
+                   (Generators.chain ~length:4 ~cost:Rat.one)
+                   [ (0, 1); (1, 2); (2, 3); (3, 4) ],
+                 Rat.one );
+             ]),
+        10 );
+    ]
+
+(* --- recovery planning ------------------------------------------------- *)
+
+let test_repair_reroutes_two_relay () =
+  (* Kill relay 1: the planner must route everything through relay 2. The
+     single surviving tree halves the throughput (relay 2 must send twice
+     per message), which the fresh LP bound confirms is intrinsic. *)
+  let p = Paper_platforms.two_relay () in
+  let before = two_relay_sched () in
+  let damage = Fault.damage [ Fault.Kill_node { node = 1; at = Rat.zero } ] in
+  match Repair.plan ~before p damage with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    (match Schedule.check rep.Repair.schedule with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "repaired schedule fails check: %s" e);
+    (match
+       Event_sim.run rep.Repair.schedule
+         ~periods:(Schedule.init_periods rep.Repair.schedule + 6)
+     with
+    | Error e -> Alcotest.failf "repaired schedule fails replay: %s" e
+    | Ok stats ->
+      Alcotest.(check (float 0.05))
+        "replay confirms the planner's claim" rep.Repair.throughput_after
+        stats.Event_sim.measured_throughput);
+    Alcotest.(check (float 1e-9)) "baseline throughput" 1.0 rep.Repair.throughput_before;
+    Alcotest.(check (float 1e-9)) "halved throughput" 0.5 rep.Repair.throughput_after;
+    Alcotest.(check (float 1e-9)) "retention 50%" 0.5 rep.Repair.retention;
+    Alcotest.(check bool) "relay 1 inactive in the survivor" false
+      (Platform.is_active rep.Repair.survivor 1);
+    Alcotest.(check (list int)) "no target died" [] rep.Repair.lost_targets
+
+let test_repair_drops_dead_target () =
+  let p = Paper_platforms.two_relay () in
+  let damage = Fault.damage [ Fault.Kill_node { node = 4; at = Rat.zero } ] in
+  match Repair.plan p damage with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    Alcotest.(check (list int)) "target 4 reported lost" [ 4 ] rep.Repair.lost_targets;
+    Alcotest.(check (list int)) "survivor serves the rest" [ 3 ]
+      rep.Repair.survivor.Platform.targets
+
+let test_repair_degradation_costs_throughput () =
+  (* Degrading every link by 2 must cost steady-state rate even though the
+     topology is intact. (Degrading only the source ports would not: the
+     relay's send load sets the MCPH period.) *)
+  let p = Paper_platforms.two_relay () in
+  let damage =
+    {
+      Repair.no_damage with
+      Repair.degraded =
+        Digraph.fold_edges
+          (fun acc e -> ((e.Digraph.src, e.Digraph.dst), Rat.of_int 2) :: acc)
+          [] p.Platform.graph;
+    }
+  in
+  match Repair.plan p damage with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    Alcotest.(check bool) "throughput dropped" true
+      (rep.Repair.throughput_after < rep.Repair.throughput_before -. 1e-9)
+
+let test_repair_unrecoverable () =
+  let p = Paper_platforms.two_relay () in
+  let expect_error damage =
+    match Repair.plan p damage with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected an unrecoverable verdict"
+  in
+  (* the source died *)
+  expect_error (Fault.damage [ Fault.Kill_node { node = 0; at = Rat.zero } ]);
+  (* every target died *)
+  expect_error
+    (Fault.damage
+       [
+         Fault.Kill_node { node = 3; at = Rat.zero };
+         Fault.Kill_node { node = 4; at = Rat.zero };
+       ]);
+  (* a target is cut off: 0->1, 0->2 dead severs both routes *)
+  expect_error
+    (Fault.damage
+       [
+         Fault.Kill_edge { src = 0; dst = 1; at = Rat.zero };
+         Fault.Kill_edge { src = 0; dst = 2; at = Rat.zero };
+       ]);
+  (* damage referencing a missing edge is rejected outright *)
+  expect_error { Repair.no_damage with Repair.dead_edges = [ (3, 0) ] };
+  (* a speedup disguised as degradation is rejected *)
+  expect_error { Repair.no_damage with Repair.degraded = [ ((0, 1), q 1 2) ] }
+
+let test_random_kills_respect_rate () =
+  let p = Paper_platforms.two_relay () in
+  let rng = Random.State.make [| 7 |] in
+  Alcotest.(check (list (pair int int)))
+    "rate 0 kills nothing" []
+    (List.filter_map
+       (function Fault.Kill_edge e -> Some (e.src, e.dst) | _ -> None)
+       (Fault.random_link_kills rng p ~rate:0.0 ~at:Rat.zero));
+  let all = Fault.random_link_kills rng p ~rate:1.0 ~at:Rat.zero in
+  Alcotest.(check int) "rate 1 kills every directed edge"
+    (Digraph.n_edges p.Platform.graph)
+    (List.length all);
+  match Fault.validate p all with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    ("faulty replay: no faults, no losses", `Quick, test_no_faults_is_lossless);
+    ("faulty replay: dead edge starves the subtree", `Quick, test_kill_edge_loses_subtree);
+    ("faulty replay: late kill spares early batches", `Quick, test_late_kill_spares_early_batches);
+    ("faulty replay: node kill closes both ports", `Quick, test_kill_node_kills_both_ports);
+    ("faulty replay: degradation milder than kill", `Quick, test_degrade_slows_but_delivers_late);
+    ("fault scenarios validated", `Quick, test_fault_validation);
+    ("detector: one-port overlap", `Quick, test_detects_port_overlap);
+    ("detector: forwarding before reception", `Quick, test_detects_causality_violation);
+    ("detector: dropped delivery", `Quick, test_detects_dropped_delivery);
+    ("detector: honest schedules still pass", `Quick, test_intact_schedules_still_pass);
+    ("repair: reroutes around a dead relay", `Quick, test_repair_reroutes_two_relay);
+    ("repair: drops a dead target", `Quick, test_repair_drops_dead_target);
+    ("repair: degradation costs throughput", `Quick, test_repair_degradation_costs_throughput);
+    ("repair: unrecoverable damage rejected", `Quick, test_repair_unrecoverable);
+    ("random link kills respect the rate", `Quick, test_random_kills_respect_rate);
+  ]
