@@ -50,6 +50,22 @@ let period_of = function
   | None -> infinity
   | Some (s : Formulations.solution) -> s.Formulations.period
 
+(* Machine-readable summary of the robustness experiments (R1/R2), written
+   to BENCH_2.json at the end of the run for CI to archive and diff. *)
+let r1_table : (float * (string * float) list) list ref = ref []
+
+type r2_row = {
+  r2_kind : string;
+  r2_nominal_wc : float;  (* worst-case retention of the plain MCPH plan *)
+  r2_robust_wc : float;  (* worst-case retention of the robust plan *)
+  r2_nominal_mean : float;
+  r2_robust_mean : float;
+  r2_nominal_thr : float;  (* nominal throughput of the MCPH plan *)
+  r2_robust_thr : float;  (* nominal throughput of the robust plan *)
+}
+
+let r2_table : r2_row list ref = ref []
+
 (* ------------------------------------------------------------------ *)
 (* E1 — Fig. 1: a single tree is not enough.                            *)
 
@@ -469,7 +485,7 @@ let resilience_rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
 let resilience_kinds = [ "tiers-small"; "random" ]
 
 let resilience () =
-  banner "R1 / resilience — throughput retention after random link failures";
+  banner "R1 / resilience — throughput retention after random link+node failures";
   let n_trials = !trials in
   Printf.printf "trials per (kind, rate): %d\n%!" n_trials;
   let gen kind seed =
@@ -492,7 +508,8 @@ let resilience () =
         let sched = Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ]) in
         let rng = Random.State.make [| seed; 9011 |] in
         let scenario =
-          Fault.random_link_kills rng p ~rate ~at:(Rat.mul (Rat.of_int 2) sched.Schedule.period)
+          Fault.random_mixed_kills rng p ~link_rate:rate ~node_rate:(rate /. 2.)
+            ~at:(Rat.mul (Rat.of_int 2) sched.Schedule.period)
         in
         let retention =
           match Repair.plan ~before:sched p (Fault.damage scenario) with
@@ -507,6 +524,8 @@ let resilience () =
   let table =
     List.map (fun rate -> (rate, List.map (fun kind -> cell kind rate) resilience_kinds)) resilience_rates
   in
+  r1_table :=
+    List.map (fun (rate, cells) -> (rate, List.combine resilience_kinds cells)) table;
   Printf.printf "%8s" "rate";
   List.iter (fun k -> Printf.printf " %14s" k) resilience_kinds;
   Printf.printf "\n";
@@ -549,6 +568,99 @@ let resilience () =
     (if ok_monotone then "OK" else "MISMATCH")
 
 (* ------------------------------------------------------------------ *)
+(* R2 — robust planning: worst-case retention vs nominal-throughput cost. *)
+
+let robust_kinds = [ "two-relay"; "tiers-small"; "random" ]
+
+let robust () =
+  banner "R2 / robust — proactive planning: worst-case retention vs nominal cost";
+  let loss_bound = 0.25 in
+  (* two-relay is a fixed 5-node example; one trial is the population. *)
+  let trials_of = function "two-relay" -> 1 | _ -> max 1 !trials in
+  let gen kind seed =
+    let rng = Random.State.make [| seed; 5501 |] in
+    match kind with
+    | "two-relay" -> Paper_platforms.two_relay ()
+    | "tiers-small" -> Tiers.generate rng Tiers.small_params ~n_targets:6
+    | "random" ->
+      Generators.random_connected rng ~nodes:14 ~extra_edges:10 ~min_cost:1 ~max_cost:20
+        ~n_targets:5
+    | other -> failwith ("robust: unknown kind " ^ other)
+  in
+  let row kind =
+    let n = trials_of kind in
+    let acc = ref [] in
+    for seed = 1 to n do
+      let p = gen kind seed in
+      match Robust_plan.plan ~loss_bound ~max_scenarios:48 ~seed p with
+      | Error _ -> ()
+      | Ok rep -> acc := rep :: !acc
+    done;
+    match !acc with
+    | [] -> None
+    | reps ->
+      let mean f = List.fold_left (fun s r -> s +. f r) 0.0 reps /. float_of_int (List.length reps) in
+      let nominal_score (r : Robust_plan.report) = r.Robust_plan.nominal_plan.Robust_plan.cand_score in
+      let chosen_score (r : Robust_plan.report) = r.Robust_plan.chosen.Robust_plan.cand_score in
+      Some
+        {
+          r2_kind = kind;
+          r2_nominal_wc = mean (fun r -> (nominal_score r).Robust_plan.worst_case);
+          r2_robust_wc = mean (fun r -> (chosen_score r).Robust_plan.worst_case);
+          r2_nominal_mean = mean (fun r -> (nominal_score r).Robust_plan.mean);
+          r2_robust_mean = mean (fun r -> (chosen_score r).Robust_plan.mean);
+          r2_nominal_thr = mean (fun r -> (nominal_score r).Robust_plan.nominal);
+          r2_robust_thr = mean (fun r -> (chosen_score r).Robust_plan.nominal);
+        }
+  in
+  Printf.printf "loss bound: %.0f%%; scenario cap: 48; trials per kind: %d (two-relay: 1)\n%!"
+    (100. *. loss_bound) (max 1 !trials);
+  let rows = List.filter_map row robust_kinds in
+  r2_table := rows;
+  Printf.printf "%-12s %10s %10s | %10s %10s | %10s %10s\n" "kind" "wc(mcph)" "wc(robust)"
+    "mean(mcph)" "mean(rob)" "thr(mcph)" "thr(rob)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %10.3f %10.3f | %10.3f %10.3f | %10.4f %10.4f\n" r.r2_kind
+        r.r2_nominal_wc r.r2_robust_wc r.r2_nominal_mean r.r2_robust_mean r.r2_nominal_thr
+        r.r2_robust_thr)
+    rows;
+  ensure_out_dir ();
+  let oc = open_out (Filename.concat !out_dir "robust.dat") in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        "# kind wc_mcph wc_robust mean_mcph mean_robust thr_mcph thr_robust\n";
+      List.iter
+        (fun r ->
+          output_string oc
+            (Printf.sprintf "%s %.4f %.4f %.4f %.4f %.4f %.4f\n" r.r2_kind r.r2_nominal_wc
+               r.r2_robust_wc r.r2_nominal_mean r.r2_robust_mean r.r2_nominal_thr
+               r.r2_robust_thr))
+        rows);
+  Printf.printf "gnuplot data: %s/robust.dat\n" !out_dir;
+  let ok_wc =
+    rows <> [] && List.for_all (fun r -> r.r2_robust_wc >= r.r2_nominal_wc -. 1e-9) rows
+  in
+  let ok_thr =
+    rows <> []
+    && List.for_all
+         (fun r -> r.r2_robust_thr >= ((1.0 -. loss_bound) *. r.r2_nominal_thr) -. 1e-9)
+         rows
+  in
+  let ok_margin =
+    List.exists (fun r -> r.r2_robust_wc > r.r2_nominal_wc +. 0.1) rows
+  in
+  Printf.printf "shape check: robust worst-case never below nominal's — %s\n"
+    (if ok_wc then "OK" else "MISMATCH");
+  Printf.printf "shape check: robust nominal throughput within the loss bound — %s\n"
+    (if ok_thr then "OK" else "MISMATCH");
+  Printf.printf
+    "shape check: some kind gains >0.1 worst-case retention (two-relay: 0 -> 1/2) — %s\n"
+    (if ok_margin then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
 (* E11 — Theorem 5: prefix gadget.                                      *)
 
 let prefix () =
@@ -582,6 +694,51 @@ let prefix () =
   Printf.printf "shape check: throughput-1 scheme exists iff the cover fits the bound — %s\n"
     (if !all_ok then "OK" else "MISMATCH")
 
+(* Hand-rolled JSON (no external deps): per-kind R1 retention means and the
+   R2 robust-vs-nominal deltas, for CI artifacts and regression diffing. *)
+let write_bench_json () =
+  ensure_out_dir ();
+  let buf = Buffer.create 1024 in
+  let fld last name v = Buffer.add_string buf (Printf.sprintf "      %S: %s%s\n" name v (if last then "" else ",")) in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"r1_retention_means\": {\n";
+  let kinds = match !r1_table with [] -> [] | (_, cells) :: _ -> List.map fst cells in
+  List.iteri
+    (fun i kind ->
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" kind);
+      List.iteri
+        (fun j (rate, cells) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      \"%.2f\": %.4f%s\n" rate (List.assoc kind cells)
+               (if j = List.length !r1_table - 1 then "" else ",")))
+        !r1_table;
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length kinds - 1 then "" else ",")))
+    kinds;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"r2_robust_vs_nominal\": {\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" r.r2_kind);
+      fld false "worst_case_nominal" (Printf.sprintf "%.4f" r.r2_nominal_wc);
+      fld false "worst_case_robust" (Printf.sprintf "%.4f" r.r2_robust_wc);
+      fld false "worst_case_delta" (Printf.sprintf "%.4f" (r.r2_robust_wc -. r.r2_nominal_wc));
+      fld false "mean_nominal" (Printf.sprintf "%.4f" r.r2_nominal_mean);
+      fld false "mean_robust" (Printf.sprintf "%.4f" r.r2_robust_mean);
+      fld false "throughput_nominal" (Printf.sprintf "%.4f" r.r2_nominal_thr);
+      fld false "throughput_robust" (Printf.sprintf "%.4f" r.r2_robust_thr);
+      fld true "throughput_ratio"
+        (if r.r2_nominal_thr > 0.0 then Printf.sprintf "%.4f" (r.r2_robust_thr /. r.r2_nominal_thr)
+         else "null");
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length !r2_table - 1 then "" else ",")))
+    !r2_table;
+  Buffer.add_string buf "  }\n}\n";
+  let fname = Filename.concat !out_dir "BENCH_2.json" in
+  let oc = open_out fname in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "robustness summary: %s\n" fname
+
 let () =
   parse_args ();
   let t0 = Unix.gettimeofday () in
@@ -597,5 +754,7 @@ let () =
   if want "ablation_mcph" || want "ablations" then ablation_mcph ();
   if want "ablation_packing" || want "ablations" then ablation_packing ();
   if want "resilience" then resilience ();
+  if want "robust" then robust ();
   if want "prefix" then prefix ();
+  if !r1_table <> [] || !r2_table <> [] then write_bench_json ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

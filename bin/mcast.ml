@@ -9,6 +9,8 @@
      broadcast-schedule  Broadcast-EB -> arborescence packing -> replay
      scatter-schedule    Multicast-UB -> weighted chains -> replay
      resilience          failure injection, schedule repair, retention report
+                         (--online drives the recovery-loop controller)
+     robust              proactive robust planning: worst-case retention report
      prefix              Theorem 5 parallel-prefix gadget walk-through
      gadget              set-cover gadget and the Theorem 1 correspondence *)
 
@@ -256,7 +258,8 @@ let scatter_schedule_cmd =
 
 (* --- resilience --- *)
 
-let resilience file kind seed n_targets kill_edges kill_nodes degrades at periods =
+let resilience file kind seed n_targets kill_edges kill_nodes degrades at periods online
+    max_attempts drop_order =
   let p =
     match file with
     | Some _ -> read_platform file
@@ -305,6 +308,20 @@ let resilience file kind seed n_targets kill_edges kill_nodes degrades at period
        complete, surviving throughput %.6f\n"
       (List.length fs.Event_sim.f_losses)
       fs.Event_sim.f_delivered fs.Event_sim.f_completed fs.Event_sim.f_measured_throughput;
+    if online then begin
+      let policy =
+        let d = Recovery_loop.default_policy p in
+        {
+          d with
+          Recovery_loop.max_attempts;
+          horizon_periods = periods;
+          drop_order = (if drop_order = [] then d.Recovery_loop.drop_order else drop_order);
+        }
+      in
+      let o = Recovery_loop.run ~policy p sched scenario in
+      Format.printf "%a@." Recovery_loop.pp_outcome o
+    end
+    else
     match Repair.plan ~before:sched p (Fault.damage scenario) with
     | Error e -> failwith ("repair failed: " ^ e)
     | Ok rep ->
@@ -349,12 +366,95 @@ let resilience_cmd =
   let periods =
     Arg.(value & opt int 12 & info [ "periods" ] ~docv:"N" ~doc:"Simulation periods.")
   in
+  let online =
+    let doc =
+      "Drive the online recovery controller (retry/backoff, degraded mode, event log) \
+       instead of the single-shot repair."
+    in
+    Arg.(value & flag & info [ "online" ] ~doc)
+  in
+  let max_attempts =
+    let doc = "Re-plan attempts before entering degraded mode (with --online)." in
+    Arg.(value & opt int 5 & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let drop_order =
+    let doc =
+      "Degraded-mode sacrifice order: targets dropped first when the survivor cannot \
+       serve everyone (with --online; defaults to highest-numbered first)."
+    in
+    Arg.(value & opt (list int) [] & info [ "drop-order" ] ~docv:"V1,V2,..." ~doc)
+  in
   Cmd.v
     (Cmd.info "resilience"
        ~doc:"Inject failures into a replay, re-plan on the survivors, report retention")
     Term.(
       const resilience $ platform_arg $ kind $ seed_arg $ n_targets $ kill_edge $ kill_node
-      $ degrade $ at $ periods)
+      $ degrade $ at $ periods $ online $ max_attempts $ drop_order)
+
+(* --- robust --- *)
+
+let robust file kind seed n_targets loss_bound max_scenarios with_lb =
+  let p =
+    match file with
+    | Some _ -> read_platform file
+    | None ->
+      let rng = Random.State.make [| seed |] in
+      platform_of_kind rng kind ~n_targets
+  in
+  Printf.printf "%s\n" (Platform.describe p);
+  match Robust_plan.plan ~loss_bound ~max_scenarios ~seed ~with_lb p with
+  | Error e -> failwith e
+  | Ok r ->
+    Format.printf "%a@." Robust_plan.pp_report r;
+    let chosen = r.Robust_plan.chosen in
+    (match Schedule.check chosen.Robust_plan.schedule with
+    | Ok () -> Printf.printf "chosen schedule: Schedule.check OK\n"
+    | Error e -> failwith ("chosen schedule fails check: " ^ e));
+    Printf.printf "critical links of the nominal plan: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (u, v) -> Robust_plan.describe_failure p (Robust_plan.Link (u, v)))
+            r.Robust_plan.critical_edges));
+    if with_lb then begin
+      Printf.printf "per-scenario survivor LB references (chosen plan):\n";
+      List.iter
+        (fun (s : Robust_plan.scenario_score) ->
+          Printf.printf "  %-24s retention %6.1f%%  survivor LB %s\n"
+            (Robust_plan.describe_failure p s.Robust_plan.sc_failure)
+            (100. *. s.Robust_plan.sc_retention)
+            (match s.Robust_plan.sc_survivor_lb with
+            | None -> "infeasible"
+            | Some lb -> Printf.sprintf "%.6f" lb))
+        chosen.Robust_plan.cand_score.Robust_plan.scenario_scores
+    end
+
+let robust_cmd =
+  let kind =
+    let doc = "Platform kind when no file is given (see $(b,generate))." in
+    Arg.(value & opt string "tiers-small" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_targets =
+    let doc = "Number of multicast targets for generated platforms." in
+    Arg.(value & opt int 8 & info [ "targets" ] ~docv:"N" ~doc)
+  in
+  let loss_bound =
+    let doc = "Maximum tolerated nominal-throughput loss (fraction of the best nominal)." in
+    Arg.(value & opt float 0.1 & info [ "loss-bound" ] ~docv:"F" ~doc)
+  in
+  let max_scenarios =
+    let doc = "Cap on evaluated failure scenarios (larger sets are sampled and logged)." in
+    Arg.(value & opt int 64 & info [ "max-scenarios" ] ~docv:"N" ~doc)
+  in
+  let with_lb =
+    let doc = "Also solve the Multicast-LB on every survivor (per-scenario reference)." in
+    Arg.(value & flag & info [ "with-lb" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:"Proactive robust planning: maximize worst-case single-failure retention")
+    Term.(
+      const robust $ platform_arg $ kind $ seed_arg $ n_targets $ loss_bound
+      $ max_scenarios $ with_lb)
 
 (* --- prefix --- *)
 
@@ -426,6 +526,7 @@ let main_cmd =
       broadcast_schedule_cmd;
       scatter_schedule_cmd;
       resilience_cmd;
+      robust_cmd;
       prefix_cmd;
       gadget_cmd;
     ]

@@ -9,6 +9,7 @@ let no_damage = { dead_edges = []; dead_nodes = []; degraded = [] }
 type report = {
   survivor : Platform.t;
   schedule : Schedule.t;
+  baseline : [ `Given | `Fresh_mcph ];
   throughput_before : float;
   throughput_after : float;
   retention : float;
@@ -83,10 +84,11 @@ let plan ?before (p : Platform.t) damage =
   match apply_damage p damage with
   | Error e -> Error e
   | Ok survivor ->
-    let throughput_before =
+    let baseline, throughput_before =
       match before with
-      | Some s -> Rat.to_float s.Schedule.throughput
+      | Some s -> (`Given, Rat.to_float s.Schedule.throughput)
       | None -> (
+        `Fresh_mcph,
         match Mcph.run p with
         | None -> nan
         | Some r -> Rat.to_float (Rat.inv r.Mcph.period))
@@ -111,6 +113,7 @@ let plan ?before (p : Platform.t) damage =
           {
             survivor;
             schedule;
+            baseline;
             throughput_before;
             throughput_after;
             retention = throughput_after /. throughput_before;
@@ -124,9 +127,10 @@ let plan ?before (p : Platform.t) damage =
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "repair: throughput %.6f -> %.6f (retention %.1f%%), LB after %s, re-plan %.3fs, \
-     re-fill %d periods%s"
+    "repair: throughput %.6f -> %.6f (retention %.1f%% vs %s baseline), LB after %s, \
+     re-plan %.3fs, re-fill %d periods%s"
     r.throughput_before r.throughput_after (100. *. r.retention)
+    (match r.baseline with `Given -> "given" | `Fresh_mcph -> "fresh-MCPH")
     (match r.lb_after with None -> "infeasible" | Some b -> Printf.sprintf "%.6f" b)
     r.replan_seconds r.refill_periods
     (match r.lost_targets with

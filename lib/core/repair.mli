@@ -33,6 +33,13 @@ val apply_damage : Platform.t -> damage -> (Platform.t, string) result
 type report = {
   survivor : Platform.t;
   schedule : Schedule.t;  (** passes {!Schedule.check}; simulator-verified upstream *)
+  baseline : [ `Given | `Fresh_mcph ];
+      (** where [throughput_before] comes from: [`Given] when the caller
+          passed [?before] (the schedule that was actually running),
+          [`Fresh_mcph] when it was re-derived by running MCPH on the
+          {e undamaged} platform. The two baselines can differ: a caller may
+          have been running a schedule better (or worse) than MCPH, so
+          retention numbers are only comparable within one baseline kind. *)
   throughput_before : float;
       (** steady-state throughput of the pre-failure schedule *)
   throughput_after : float;
@@ -45,8 +52,10 @@ type report = {
 }
 
 (** [plan ?before p damage] re-plans on the surviving platform. [before] is
-    the schedule that was running (its throughput is the baseline; when
-    absent the baseline is a fresh MCPH plan on the undamaged platform).
+    the schedule that was running (its throughput is the baseline and the
+    report is tagged [baseline = `Given]); when absent the baseline is a
+    fresh MCPH plan on the undamaged platform ([baseline = `Fresh_mcph]) —
+    an explicit choice, not a silent default: see {!report.baseline}.
     Errors when the survivor cannot serve the remaining targets. *)
 val plan : ?before:Schedule.t -> Platform.t -> damage -> (report, string) result
 

@@ -1,0 +1,114 @@
+(** Proactive robust planning: prefer schedules that keep serving after a
+    failure instead of only reacting to one.
+
+    {!Repair.plan} (PR 1) is reactive: it re-plans once a failure has been
+    observed, and until it finishes a single well-placed link kill can zero
+    the delivered throughput of a single-tree plan. This module closes the
+    gap {e before} the failure: it enumerates (or, above a size cutoff,
+    samples) every single-link and single-node failure scenario, scores a
+    candidate {!Schedule.t} by how much throughput keeps flowing in each,
+    and searches for a weighted tree set whose {e worst-case} retention is
+    maximal subject to a bounded nominal-throughput loss — the
+    tree-packing view of the problem (cf. the Maximum Bounded Rooted-Tree
+    Packing line of work): a set of trees with disjoint critical links
+    degrades gracefully because the surviving trees still serve every
+    target.
+
+    Retention semantics match the simulator's completed-multicast
+    accounting: under a failure, a tree of the running schedule still
+    contributes its weight iff its surviving edges reach every {e surviving}
+    target (a dead target no longer counts against the trees). The
+    per-scenario reference is the Multicast-LB re-solved on the survivor
+    (through the {!Solver_chain} fallback, see {!Formulations.multicast_lb})
+    — it bounds what any planner could retain on that survivor, so the gap
+    [lb - retained] is the price of not re-planning. *)
+
+(** A single-failure scenario: one physical link (both directions when the
+    platform has them) or one non-source processor. *)
+type failure =
+  | Link of int * int  (** undirected: kills [u->v] and [v->u] when present *)
+  | Node of int
+
+(** [single_failures p] enumerates every single-failure scenario of [p]:
+    one per undirected link, one per active non-source node (excluding a
+    node that is the only target — unrecoverable by construction). *)
+val single_failures : Platform.t -> failure list
+
+(** [damage_of_failure p f] is the failure in the recovery planner's
+    vocabulary ({!Repair.apply_damage} consumes it). *)
+val damage_of_failure : Platform.t -> failure -> Repair.damage
+
+type scenario_score = {
+  sc_failure : failure;
+  sc_retention : float;
+      (** surviving throughput of the fixed schedule / nominal throughput *)
+  sc_survivor_lb : float option;
+      (** Multicast-LB throughput on the survivor — the per-scenario
+          reference; [None] when not requested or when the survivor is
+          infeasible/unrecoverable *)
+}
+
+type score = {
+  nominal : float;  (** steady-state throughput with no failure *)
+  worst_case : float;  (** min over scenarios of [sc_retention]; 1 if none *)
+  mean : float;  (** mean over scenarios of [sc_retention]; 1 if none *)
+  scenario_scores : scenario_score list;
+}
+
+(** [score ?with_lb p sched ~failures] evaluates the fixed schedule against
+    each failure: {!Repair.apply_damage} produces the survivor, and a tree
+    of [sched] still counts iff its surviving edges reach every surviving
+    target. [with_lb] (default [false] — one LP per scenario) additionally
+    solves Multicast-LB on each survivor as the per-scenario reference. *)
+val score :
+  ?with_lb:bool -> Platform.t -> Schedule.t -> failures:failure list -> score
+
+type candidate = {
+  label : string;  (** how the candidate was constructed *)
+  set : Tree_set.t;
+  schedule : Schedule.t;  (** passes {!Schedule.check} *)
+  cand_score : score;
+}
+
+type report = {
+  nominal_plan : candidate;  (** the plain MCPH baseline *)
+  chosen : candidate;
+      (** maximal worst-case retention among candidates whose nominal
+          throughput is at least [(1 - loss_bound) * best nominal];
+          ties broken by mean retention, then nominal throughput *)
+  pareto : candidate list;
+      (** candidates not dominated in (nominal, worst_case), best nominal
+          first — the explicit robustness/throughput trade-off *)
+  critical_edges : (int * int) list;
+      (** links whose single failure realizes the nominal plan's worst-case
+          retention — the links the perturbations reweight *)
+  failures : failure list;  (** the evaluated scenario set *)
+  total_failures : int;  (** before sampling *)
+  sampled : bool;  (** true when the scenario set was capped *)
+  loss_bound : float;
+}
+
+(** [plan p] builds the robust plan. Candidate tree sets perturb the MCPH
+    construction two ways: {e edge-penalty reweighting} (re-run MCPH with
+    the critical links' costs inflated by each factor in [penalties],
+    default [[4; 16]], yielding trees that avoid them) and {e redundant
+    sibling subtrees} (re-attach the child of a critical tree edge to an
+    alternative in-tree parent, yielding single-edge variants); the
+    candidates are the trees alone, optimal ({!Tree_set.best_weights}) and
+    balanced pairings with the baseline, and the optimally weighted full
+    portfolio. Scenario sets larger than [max_scenarios] (default [64]) are
+    sampled with the seeded rng and reported as such ([sampled]).
+    [with_lb] re-scores the nominal and chosen candidates with per-scenario
+    Multicast-LB references. Errors when MCPH itself fails (some target
+    unreachable). *)
+val plan :
+  ?loss_bound:float ->
+  ?penalties:int list ->
+  ?max_scenarios:int ->
+  ?seed:int ->
+  ?with_lb:bool ->
+  Platform.t ->
+  (report, string) result
+
+val describe_failure : Platform.t -> failure -> string
+val pp_report : Format.formatter -> report -> unit

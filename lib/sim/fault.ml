@@ -72,6 +72,29 @@ let random_link_kills rng (p : Platform.t) ~rate ~at =
       end)
     [] g
 
+let random_node_kills rng (p : Platform.t) ~rate ~at =
+  let candidates =
+    List.filter (fun v -> v <> p.Platform.source) (Platform.active_nodes p)
+  in
+  let killed =
+    List.filter (fun _ -> Random.State.float rng 1.0 < rate) candidates
+  in
+  (* Never kill every target: the resulting damage would be unrecoverable by
+     construction, which the sweeps treat as a separate (trivial) case. Spare
+     a uniformly drawn target when the draw was total. *)
+  let killed =
+    if List.exists (fun t -> not (List.mem t killed)) p.Platform.targets then killed
+    else
+      let spare =
+        List.nth p.Platform.targets (Random.State.int rng (List.length p.Platform.targets))
+      in
+      List.filter (fun v -> v <> spare) killed
+  in
+  List.map (fun v -> Kill_node { node = v; at }) killed
+
+let random_mixed_kills rng p ~link_rate ~node_rate ~at =
+  random_link_kills rng p ~rate:link_rate ~at @ random_node_kills rng p ~rate:node_rate ~at
+
 let describe s =
   let one = function
     | Kill_edge e ->

@@ -38,4 +38,23 @@ val damage : scenario -> Repair.damage
 val random_link_kills :
   Random.State.t -> Platform.t -> rate:float -> at:Rat.t -> scenario
 
+(** [random_node_kills rng p ~rate ~at] kills each active non-source node
+    independently with probability [rate], all at time [at]. The draw never
+    kills {e every} target (one uniformly drawn target is spared when it
+    would), so the resulting damage is never unrecoverable by construction
+    alone — the sweeps exercise node failures, not the trivial total loss. *)
+val random_node_kills :
+  Random.State.t -> Platform.t -> rate:float -> at:Rat.t -> scenario
+
+(** [random_mixed_kills rng p ~link_rate ~node_rate ~at] draws link kills at
+    [link_rate] and node kills at [node_rate] — the mixed failure generator
+    of the R1/R2 benchmark sweeps. *)
+val random_mixed_kills :
+  Random.State.t ->
+  Platform.t ->
+  link_rate:float ->
+  node_rate:float ->
+  at:Rat.t ->
+  scenario
+
 val describe : scenario -> string

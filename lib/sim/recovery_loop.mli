@@ -1,0 +1,85 @@
+(** Online recovery controller: replay, detect, re-plan, degrade, recover.
+
+    {!Repair.plan} is a single re-planning step; this module is the loop
+    around it. It replays a running schedule against a {!Fault.scenario},
+    detects the deliveries the faults cost, and drives the planner under a
+    retry/timeout/backoff policy:
+
+    - each re-plan attempt gets a wall-clock {e deadline}
+      ([replan_deadline]); an attempt that overruns it is abandoned and the
+      controller falls back to the last checkpointed good schedule before
+      retrying;
+    - failed attempts back off {e exponentially in simulated time}
+      ([base_backoff * backoff_factor^(n-1)]) up to [max_attempts];
+    - when the survivor cannot serve every remaining target, the controller
+      enters {e degraded mode}: it drops targets one at a time in the
+      caller-supplied [drop_order] until planning succeeds, serving the
+      high-priority remainder rather than stalling;
+    - every step emits a structured {!event}, so tests and the CLI can
+      assert on the exact sequence
+      (failure → attempts/backoffs → degraded → recovered).
+
+    The controller works in simulated time: the clock starts at the first
+    fault event and advances by the backoff delays; wall-clock is only used
+    against [replan_deadline]. *)
+
+type event =
+  | Failure_observed of { at : Rat.t; losses : int; scenario : string }
+      (** the faulty replay lost [losses] owed deliveries *)
+  | Replan_attempt of { n : int; at : Rat.t }
+  | Replan_failed of { n : int; reason : string }
+  | Deadline_exceeded of { n : int; seconds : float; deadline : float }
+      (** attempt [n] overran the per-attempt re-plan deadline *)
+  | Fallback_to_checkpoint of { n : int }
+      (** the controller reverted to the last checkpointed good schedule *)
+  | Backoff of { n : int; delay : Rat.t; resume_at : Rat.t }
+  | Degraded of { dropped : int list; serving : int }
+      (** entered (or deepened) degraded mode: [dropped] targets
+          sacrificed, [serving] still served *)
+  | Recovered of { at : Rat.t; throughput : float; degraded : bool }
+      (** a repaired schedule passed {!Schedule.check} *)
+  | Gave_up of { attempts : int; reason : string }
+
+type policy = {
+  max_attempts : int;  (** full-target re-plan attempts before degrading *)
+  base_backoff : Rat.t;  (** simulated-time delay after the first failure *)
+  backoff_factor : int;  (** exponential growth factor ([>= 1]) *)
+  replan_deadline : float;  (** wall-clock seconds allowed per attempt *)
+  drop_order : int list;
+      (** targets in the order they may be sacrificed in degraded mode;
+          targets not listed are never dropped *)
+  horizon_periods : int;  (** replay horizon for failure detection *)
+}
+
+(** [default_policy p]: 5 attempts, backoff of one time unit doubling,
+    1s deadline, drop order = reversed target list (the highest-numbered
+    target is sacrificed first), 12-period horizon. *)
+val default_policy : Platform.t -> policy
+
+(** The planning function the controller drives — injectable so tests can
+    exercise transient failures and deadline overruns. Defaults to
+    {!Repair.plan}. *)
+type planner =
+  ?before:Schedule.t -> Platform.t -> Repair.damage -> (Repair.report, string) result
+
+type outcome = {
+  events : event list;  (** chronological *)
+  final :
+    [ `No_failure  (** the replay lost nothing; nothing to do *)
+    | `Recovered of Repair.report  (** full target set restored *)
+    | `Degraded of Repair.report * int list
+      (** recovered after sacrificing the listed targets *)
+    | `Fallback of Schedule.t
+      (** every attempt failed; the last checkpointed schedule stands *) ];
+  attempts_used : int;
+  sim_time : Rat.t;  (** simulated clock when the controller stopped *)
+}
+
+(** [run p sched scenario] drives the loop. The scenario must validate
+    against [p]; the initial schedule is the first checkpoint. *)
+val run :
+  ?policy:policy -> ?planner:planner -> Platform.t -> Schedule.t -> Fault.scenario -> outcome
+
+val event_name : event -> string
+val pp_event : Format.formatter -> event -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

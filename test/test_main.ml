@@ -16,5 +16,6 @@ let () =
       ("heuristic_schedules", Test_heuristic_schedules.suite);
       ("schedule", Test_schedule.suite);
       ("resilience", Test_resilience.suite);
+      ("robust", Test_robust.suite);
       ("prefix", Test_prefix.suite);
     ]
