@@ -13,6 +13,7 @@ let trials = ref 10
 let big_trials = ref 3
 let only : string list ref = ref []
 let fast = ref false
+let jobs = ref (Pool.default_jobs ())
 
 let parse_args () =
   let rec go = function
@@ -33,6 +34,9 @@ let parse_args () =
       go rest
     | "--out-dir" :: d :: rest ->
       out_dir := d;
+      go rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
       go rest
     | other :: _ -> failwith ("unknown argument: " ^ other)
   in
@@ -497,13 +501,15 @@ let resilience () =
         ~n_targets:8
     | other -> failwith ("resilience: unknown kind " ^ other)
   in
-  (* mean retention over trials; an unrecoverable failure counts as 0. *)
+  (* mean retention over trials; an unrecoverable failure counts as 0.
+     Seeds are independent trials: Pool.map runs them across domains and
+     keeps their order, so the mean is summed in the same order (hence the
+     same float) for any --jobs. *)
   let cell kind rate =
-    let total = ref 0.0 and n = ref 0 in
-    for seed = 1 to n_trials do
+    let one seed =
       let p = gen kind seed in
       match Mcph.run p with
-      | None -> ()
+      | None -> None
       | Some r ->
         let sched = Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ]) in
         let rng = Random.State.make [| seed; 9011 |] in
@@ -511,15 +517,17 @@ let resilience () =
           Fault.random_mixed_kills rng p ~link_rate:rate ~node_rate:(rate /. 2.)
             ~at:(Rat.mul (Rat.of_int 2) sched.Schedule.period)
         in
-        let retention =
-          match Repair.plan ~before:sched p (Fault.damage scenario) with
-          | Ok rep -> min 1.0 rep.Repair.retention
-          | Error _ -> 0.0
-        in
-        total := !total +. retention;
-        incr n
-    done;
-    if !n = 0 then nan else !total /. float_of_int !n
+        match Repair.plan ~before:sched p (Fault.damage scenario) with
+        | Ok rep -> Some (min 1.0 rep.Repair.retention)
+        | Error _ -> Some 0.0
+    in
+    let retentions =
+      List.filter_map Fun.id
+        (Pool.map ~jobs:!jobs one (List.init n_trials (fun i -> i + 1)))
+    in
+    match retentions with
+    | [] -> nan
+    | rs -> List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs)
   in
   let table =
     List.map (fun rate -> (rate, List.map (fun kind -> cell kind rate) resilience_kinds)) resilience_rates
@@ -592,7 +600,7 @@ let robust () =
     let acc = ref [] in
     for seed = 1 to n do
       let p = gen kind seed in
-      match Robust_plan.plan ~loss_bound ~max_scenarios:48 ~seed p with
+      match Robust_plan.plan ~loss_bound ~max_scenarios:48 ~seed ~jobs:!jobs p with
       | Error _ -> ()
       | Ok rep -> acc := rep :: !acc
     done;
@@ -694,6 +702,159 @@ let prefix () =
   Printf.printf "shape check: throughput-1 scheme exists iff the cover fits the bound — %s\n"
     (if !all_ok then "OK" else "MISMATCH")
 
+(* ------------------------------------------------------------------ *)
+(* P1 — parallel scenario engine: pool + LP-solve cache (BENCH_3).      *)
+
+type p1_leg = {
+  p1_seconds : float;
+  p1_solves : int;
+  p1_pivots : int;
+  p1_hits : int;
+  p1_misses : int;
+  p1_pool : Pool.stats;
+  (* canonical per-candidate score data, for the bit-identity check:
+     (label, nominal, worst_case, mean, per-scenario (retention, lb)) *)
+  p1_data : (string * float * float * float * (float * float option) list) list;
+}
+
+let pseries () =
+  banner "P1 / parallel scenario engine — domain pool + LP-solve cache";
+  let seed = 1 in
+  let rng = Random.State.make [| seed; 5501 |] in
+  let p = Tiers.generate rng Tiers.small_params ~n_targets:6 in
+  let loss_bound = 0.25 in
+  let max_scenarios = if !fast then 16 else 48 in
+  let audit_cap = if !fast then 4 else 8 in
+  let par_jobs = if !jobs > 1 then !jobs else 4 in
+  Printf.printf "%s\n" (Platform.describe p);
+  Printf.printf "scenario cap: %d; pareto LB audit cap: %d; parallel leg: %d jobs\n%!"
+    max_scenarios audit_cap par_jobs;
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  (* The workload is the R2 sweep's expensive core: a robust plan with
+     survivor-LB references, then an LB audit of the Pareto front (every
+     Pareto candidate re-scored with per-scenario LB references). With the
+     cache on, the survivor platforms recur across candidates and all but
+     the first solve per scenario become hits. *)
+  let run_leg ~leg_jobs ~cache =
+    Lp_cache.reset ();
+    Lp_cache.set_enabled cache;
+    let before = Lp_counters.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let rep =
+      match
+        Robust_plan.plan ~loss_bound ~max_scenarios ~seed ~with_lb:true ~jobs:leg_jobs p
+      with
+      | Ok r -> r
+      | Error e -> failwith ("pseries: robust plan failed: " ^ e)
+    in
+    let audited = take audit_cap rep.Robust_plan.pareto in
+    (* Candidate-level pool (inner scoring sequential: pools don't nest);
+       map_stats surfaces worker utilization for the report. Survivors are
+       prepared once and shared across the audited candidates. *)
+    let prepared = Robust_plan.prepare ~jobs:1 p rep.Robust_plan.failures in
+    let audit_scores, pool_stats =
+      Pool.map_stats ~jobs:leg_jobs
+        (fun (c : Robust_plan.candidate) ->
+          Robust_plan.score_prepared ~with_lb:true ~jobs:1 p c.Robust_plan.schedule
+            ~prepared)
+        audited
+    in
+    let p1_seconds = Unix.gettimeofday () -. t0 in
+    let d = Lp_counters.since before in
+    let cs = Lp_cache.stats () in
+    Lp_cache.set_enabled true;
+    let digest label (s : Robust_plan.score) =
+      ( label,
+        s.Robust_plan.nominal,
+        s.Robust_plan.worst_case,
+        s.Robust_plan.mean,
+        List.map
+          (fun (sc : Robust_plan.scenario_score) ->
+            (sc.Robust_plan.sc_retention, sc.Robust_plan.sc_survivor_lb))
+          s.Robust_plan.scenario_scores )
+    in
+    let nominal = rep.Robust_plan.nominal_plan and chosen = rep.Robust_plan.chosen in
+    {
+      p1_seconds;
+      p1_solves = d.Lp_counters.float_solves + d.Lp_counters.exact_solves;
+      p1_pivots = d.Lp_counters.pivots + d.Lp_counters.exact_pivots;
+      p1_hits = cs.Lp_cache.hits;
+      p1_misses = cs.Lp_cache.misses;
+      p1_pool = pool_stats;
+      p1_data =
+        digest ("nominal:" ^ nominal.Robust_plan.label) nominal.Robust_plan.cand_score
+        :: digest ("chosen:" ^ chosen.Robust_plan.label) chosen.Robust_plan.cand_score
+        :: List.map2
+             (fun (c : Robust_plan.candidate) s -> digest c.Robust_plan.label s)
+             audited audit_scores;
+    }
+  in
+  (* Sequential leg = the pre-PR path: one domain, cache off. *)
+  let seq = run_leg ~leg_jobs:1 ~cache:false in
+  let par = run_leg ~leg_jobs:par_jobs ~cache:true in
+  let speedup = if par.p1_seconds > 0.0 then seq.p1_seconds /. par.p1_seconds else nan in
+  let hit_rate =
+    let total = par.p1_hits + par.p1_misses in
+    if total = 0 then 0.0 else float_of_int par.p1_hits /. float_of_int total
+  in
+  let identical = seq.p1_data = par.p1_data in
+  Printf.printf "%-28s %10s %10s %10s %8s %8s\n" "leg" "seconds" "LP solves" "pivots"
+    "hits" "misses";
+  let leg name l =
+    Printf.printf "%-28s %10.3f %10d %10d %8d %8d\n" name l.p1_seconds l.p1_solves
+      l.p1_pivots l.p1_hits l.p1_misses
+  in
+  leg "sequential (jobs 1, no cache)" seq;
+  leg (Printf.sprintf "parallel (jobs %d, cache)" par_jobs) par;
+  Printf.printf "speedup: %.2fx; cache hit rate: %.1f%%; pool tasks per worker: [%s]\n"
+    speedup (100. *. hit_rate)
+    (String.concat ";" (Array.to_list (Array.map string_of_int par.p1_pool.Pool.per_worker)));
+  Printf.printf "shape check: parallel+cache at least 2x the sequential leg — %s\n"
+    (if speedup >= 2.0 then "OK" else "MISMATCH");
+  Printf.printf "shape check: nonzero LP-cache hit rate — %s\n"
+    (if par.p1_hits > 0 then "OK" else "MISMATCH");
+  Printf.printf "shape check: parallel results bit-identical to sequential — %s\n"
+    (if identical then "OK" else "MISMATCH");
+  (* BENCH_3.json: machine-readable summary for CI artifacts. *)
+  ensure_out_dir ();
+  let buf = Buffer.create 1024 in
+  let fld ?(indent = "  ") last name v =
+    Buffer.add_string buf (Printf.sprintf "%s%S: %s%s\n" indent name v (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  fld false "platform" (Printf.sprintf "%S" (Platform.describe p));
+  fld false "nodes" (string_of_int (Platform.n_nodes p));
+  fld false "scenario_cap" (string_of_int max_scenarios);
+  fld false "pareto_audit_cap" (string_of_int audit_cap);
+  fld false "parallel_jobs" (string_of_int par_jobs);
+  let leg_json name l last =
+    Buffer.add_string buf (Printf.sprintf "  %S: {\n" name);
+    fld ~indent:"    " false "seconds" (Printf.sprintf "%.4f" l.p1_seconds);
+    fld ~indent:"    " false "lp_solves" (string_of_int l.p1_solves);
+    fld ~indent:"    " false "pivots" (string_of_int l.p1_pivots);
+    fld ~indent:"    " false "cache_hits" (string_of_int l.p1_hits);
+    fld ~indent:"    " false "cache_misses" (string_of_int l.p1_misses);
+    fld ~indent:"    " true "pool_tasks_per_worker"
+      (Printf.sprintf "[%s]"
+         (String.concat ","
+            (Array.to_list (Array.map string_of_int l.p1_pool.Pool.per_worker))));
+    Buffer.add_string buf (Printf.sprintf "  }%s\n" (if last then "" else ","))
+  in
+  leg_json "sequential" seq false;
+  leg_json "parallel" par false;
+  fld false "speedup" (Printf.sprintf "%.4f" speedup);
+  fld false "cache_hit_rate" (Printf.sprintf "%.4f" hit_rate);
+  fld true "bit_identical" (if identical then "true" else "false");
+  Buffer.add_string buf "}\n";
+  let fname = Filename.concat !out_dir "BENCH_3.json" in
+  let oc = open_out fname in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "parallel-engine summary: %s\n" fname
+
 (* Hand-rolled JSON (no external deps): per-kind R1 retention means and the
    R2 robust-vs-nominal deltas, for CI artifacts and regression diffing. *)
 let write_bench_json () =
@@ -755,6 +916,7 @@ let () =
   if want "ablation_packing" || want "ablations" then ablation_packing ();
   if want "resilience" then resilience ();
   if want "robust" then robust ();
+  if want "pseries" then pseries ();
   if want "prefix" then prefix ();
   if !r1_table <> [] || !r2_table <> [] then write_bench_json ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

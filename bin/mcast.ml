@@ -34,6 +34,24 @@ let seed_arg =
   let doc = "PRNG seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the scenario engine (defaults to \\$(b,MCAST_JOBS) or 1). \
+     Results are bit-identical for every job count."
+  in
+  Arg.(value & opt int (Pool.default_jobs ()) & info [ "jobs" ] ~docv:"N" ~doc)
+
+(* One-line solver/cache telemetry, printed after the heavy subcommands. *)
+let print_perf_counters () =
+  let c = Lp_counters.snapshot () in
+  let s = Lp_cache.stats () in
+  Printf.printf
+    "perf: %d LP solves (%d exact), %d pivots; LP cache %d hits / %d misses\n"
+    (c.Lp_counters.float_solves + c.Lp_counters.exact_solves)
+    c.Lp_counters.exact_solves
+    (c.Lp_counters.pivots + c.Lp_counters.exact_pivots)
+    s.Lp_cache.hits s.Lp_cache.misses
+
 (* --- generate --- *)
 
 let platform_of_kind rng kind ~n_targets =
@@ -259,7 +277,7 @@ let scatter_schedule_cmd =
 (* --- resilience --- *)
 
 let resilience file kind seed n_targets kill_edges kill_nodes degrades at periods online
-    max_attempts drop_order =
+    max_attempts drop_order jobs =
   let p =
     match file with
     | Some _ -> read_platform file
@@ -296,13 +314,27 @@ let resilience file kind seed n_targets kill_edges kill_nodes degrades at period
     | Ok () -> ()
     | Error e -> failwith ("baseline schedule check failed: " ^ e));
     let periods = max periods (Schedule.init_periods sched + 3) in
-    (match Event_sim.run sched ~periods with
+    (* The pristine and faulted replays are independent; run them on the
+       pool (order-preserving, so the output is the same for any --jobs). *)
+    let base, fs =
+      match
+        Pool.map ~jobs
+          (fun run -> run ())
+          [
+            (fun () -> `Base (Event_sim.run sched ~periods));
+            (fun () ->
+              `Faulted (Event_sim.run_with_faults sched ~faults:scenario ~periods));
+          ]
+      with
+      | [ `Base b; `Faulted fs ] -> (b, fs)
+      | _ -> assert false
+    in
+    (match base with
     | Error e -> failwith ("baseline replay failed: " ^ e)
     | Ok stats ->
       Printf.printf "baseline: throughput %.6f (replay measured %.6f over %d periods)\n"
         (Rat.to_float sched.Schedule.throughput)
         stats.Event_sim.measured_throughput periods);
-    let fs = Event_sim.run_with_faults sched ~faults:scenario ~periods in
     Printf.printf
       "under faults: %d deliveries lost, %d deliveries made, %d multicasts still \
        complete, surviving throughput %.6f\n"
@@ -319,7 +351,8 @@ let resilience file kind seed n_targets kill_edges kill_nodes degrades at period
         }
       in
       let o = Recovery_loop.run ~policy p sched scenario in
-      Format.printf "%a@." Recovery_loop.pp_outcome o
+      Format.printf "%a@." Recovery_loop.pp_outcome o;
+      print_perf_counters ()
     end
     else
     match Repair.plan ~before:sched p (Fault.damage scenario) with
@@ -336,7 +369,8 @@ let resilience file kind seed n_targets kill_edges kill_nodes degrades at period
           "repaired schedule verified: Schedule.check OK, replay measured %.6f over %d \
            periods\n"
           stats.Event_sim.measured_throughput rp);
-      Format.printf "%a@." Repair.pp_report rep)
+      Format.printf "%a@." Repair.pp_report rep;
+      print_perf_counters ())
 
 let resilience_cmd =
   let kind =
@@ -389,11 +423,11 @@ let resilience_cmd =
        ~doc:"Inject failures into a replay, re-plan on the survivors, report retention")
     Term.(
       const resilience $ platform_arg $ kind $ seed_arg $ n_targets $ kill_edge $ kill_node
-      $ degrade $ at $ periods $ online $ max_attempts $ drop_order)
+      $ degrade $ at $ periods $ online $ max_attempts $ drop_order $ jobs_arg)
 
 (* --- robust --- *)
 
-let robust file kind seed n_targets loss_bound max_scenarios with_lb =
+let robust file kind seed n_targets loss_bound max_scenarios with_lb jobs =
   let p =
     match file with
     | Some _ -> read_platform file
@@ -402,7 +436,7 @@ let robust file kind seed n_targets loss_bound max_scenarios with_lb =
       platform_of_kind rng kind ~n_targets
   in
   Printf.printf "%s\n" (Platform.describe p);
-  match Robust_plan.plan ~loss_bound ~max_scenarios ~seed ~with_lb p with
+  match Robust_plan.plan ~loss_bound ~max_scenarios ~seed ~with_lb ~jobs p with
   | Error e -> failwith e
   | Ok r ->
     Format.printf "%a@." Robust_plan.pp_report r;
@@ -426,7 +460,8 @@ let robust file kind seed n_targets loss_bound max_scenarios with_lb =
             | None -> "infeasible"
             | Some lb -> Printf.sprintf "%.6f" lb))
         chosen.Robust_plan.cand_score.Robust_plan.scenario_scores
-    end
+    end;
+    print_perf_counters ()
 
 let robust_cmd =
   let kind =
@@ -454,7 +489,7 @@ let robust_cmd =
        ~doc:"Proactive robust planning: maximize worst-case single-failure retention")
     Term.(
       const robust $ platform_arg $ kind $ seed_arg $ n_targets $ loss_bound
-      $ max_scenarios $ with_lb)
+      $ max_scenarios $ with_lb $ jobs_arg)
 
 (* --- prefix --- *)
 

@@ -13,14 +13,15 @@ type report = {
 let method_names =
   [ "scatter"; "lower bound"; "broadcast"; "MCPH"; "Augm. MC"; "Red. BC"; "Multisource MC" ]
 
-let timed name f =
-  let t0 = Unix.gettimeofday () in
+let timed ~now name f =
+  let t0 = now () in
   let period = f () in
-  let wall_time = Unix.gettimeofday () -. t0 in
+  let wall_time = now () -. t0 in
   let period = if period <= 0.0 then infinity else period in
   { name; period; throughput = 1.0 /. period; wall_time }
 
-let run_all ?max_tries_per_round ?max_sources p =
+let run_all ?(now = Unix.gettimeofday) ?max_tries_per_round ?max_sources p =
+  let timed name f = timed ~now name f in
   let lp_period = function
     | None -> infinity
     | Some (s : Formulations.solution) -> s.Formulations.period

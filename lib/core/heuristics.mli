@@ -18,10 +18,17 @@ type report = {
     "MCPH", "Augm. MC", "Red. BC", "Multisource MC". *)
 val method_names : string list
 
-(** [run_all ?max_tries_per_round ?max_sources p] runs every method.
+(** [run_all ?now ?max_tries_per_round ?max_sources p] runs every method.
     [max_tries_per_round] bounds the LP probes per improvement round of the
-    refined heuristics (None = paper-faithful exhaustive probing). *)
-val run_all : ?max_tries_per_round:int -> ?max_sources:int -> Platform.t -> report
+    refined heuristics (None = paper-faithful exhaustive probing). [now]
+    (default [Unix.gettimeofday]) is the clock behind [wall_time]; inject a
+    fake one for deterministic timing in tests. *)
+val run_all :
+  ?now:(unit -> float) ->
+  ?max_tries_per_round:int ->
+  ?max_sources:int ->
+  Platform.t ->
+  report
 
 (** [entry r name] looks an entry up by method name. Raises [Not_found]. *)
 val entry : report -> string -> entry

@@ -1,0 +1,75 @@
+type stats = { hits : int; misses : int }
+
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Rat.to_string is canonical (reduced form), so equal costs always print
+   equally and the fingerprint is injective on what the LPs read. *)
+let fingerprint (p : Platform.t) =
+  let buf = Buffer.create 256 in
+  let g = p.Platform.graph in
+  Buffer.add_string buf (string_of_int (Digraph.n_nodes g));
+  Buffer.add_string buf ";s";
+  Buffer.add_string buf (string_of_int p.Platform.source);
+  Buffer.add_string buf ";t";
+  List.iter
+    (fun t ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int t))
+    p.Platform.targets;
+  Buffer.add_string buf ";a";
+  Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) p.Platform.active;
+  Buffer.add_string buf ";e";
+  let edges =
+    List.sort
+      (fun (e1 : Digraph.edge) (e2 : Digraph.edge) ->
+        match compare e1.src e2.src with 0 -> compare e1.dst e2.dst | c -> c)
+      (Digraph.edges g)
+  in
+  List.iter
+    (fun (e : Digraph.edge) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int e.src);
+      Buffer.add_char buf '>';
+      Buffer.add_string buf (string_of_int e.dst);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Rat.to_string e.cost))
+    edges;
+  Buffer.contents buf
+
+let lock = Mutex.create ()
+let lb_table : (string, Formulations.solution option) Hashtbl.t = Hashtbl.create 64
+let ub_table : (string, Formulations.solution option) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let cached table solve p =
+  if not (enabled ()) then solve p
+  else begin
+    let key = fingerprint p in
+    match with_lock (fun () -> Hashtbl.find_opt table key) with
+    | Some sol ->
+      ignore (Atomic.fetch_and_add hits 1);
+      sol
+    | None ->
+      ignore (Atomic.fetch_and_add misses 1);
+      let sol = solve p in
+      with_lock (fun () -> Hashtbl.replace table key sol);
+      sol
+  end
+
+let multicast_lb p = cached lb_table Formulations.multicast_lb p
+let multicast_ub p = cached ub_table Formulations.multicast_ub p
+let stats () = { hits = Atomic.get hits; misses = Atomic.get misses }
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset lb_table;
+      Hashtbl.reset ub_table);
+  Atomic.set hits 0;
+  Atomic.set misses 0

@@ -1,0 +1,47 @@
+(** Memoizing front-end for the multicast LP bounds.
+
+    The robust planner and the benches solve {!Formulations.multicast_lb} /
+    {!Formulations.multicast_ub} on {e survivor platforms} — the platform
+    with one link or node removed — and the same survivor recurs many times:
+    once per candidate schedule per scenario, and again during rescoring.
+    This module keys solved bounds by a canonical platform fingerprint so
+    recurrences cost a hash lookup instead of a simplex run.
+
+    The fingerprint covers everything the LPs read: node count, source,
+    target set, active-node set, and the full edge list with exact rational
+    costs (edges sorted, so construction order is irrelevant). Node kinds
+    and labels are excluded — the LPs never look at them. Two platforms with
+    equal fingerprints therefore have identical LP solutions, and a cache
+    hit returns {e the} value a fresh solve would produce (the solver is
+    deterministic), keeping cached and uncached runs bit-identical.
+
+    Thread-safety: the tables are mutex-protected and the hit/miss counters
+    atomic, so concurrent lookups from a {!Pool} are safe. Two domains
+    missing on the same key both solve and store; the second store
+    overwrites with an identical value, which is harmless.
+
+    The cache is process-global and unbounded; survivor platforms of the
+    scenario sets in play are a few hundred entries at most. [reset] drops
+    all entries and zeroes the counters. *)
+
+val fingerprint : Platform.t -> string
+
+(** {!Formulations.multicast_lb} through the cache. *)
+val multicast_lb : Platform.t -> Formulations.solution option
+
+(** {!Formulations.multicast_ub} through the cache. *)
+val multicast_ub : Platform.t -> Formulations.solution option
+
+type stats = { hits : int; misses : int }
+
+val stats : unit -> stats
+
+(** Drop all entries and zero the counters. *)
+val reset : unit -> unit
+
+(** [set_enabled false] makes the wrappers pass through to fresh solves
+    (counting neither hits nor misses). Bench-only: it exists so BENCH_3
+    can measure the pre-cache baseline. Default enabled. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool

@@ -80,7 +80,7 @@ let apply_damage (p : Platform.t) damage =
       end
     end
 
-let plan ?before (p : Platform.t) damage =
+let plan ?(now = Unix.gettimeofday) ?before (p : Platform.t) damage =
   match apply_damage p damage with
   | Error e -> Error e
   | Ok survivor ->
@@ -96,18 +96,18 @@ let plan ?before (p : Platform.t) damage =
     if not (Platform.is_feasible survivor) then
       Error "unrecoverable: a surviving target is unreachable from the source"
     else begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = now () in
       match Mcph.run survivor with
       | None -> Error "unrecoverable: no multicast tree on the surviving platform"
       | Some r ->
         let set = Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ] in
         let schedule = Schedule.of_tree_set set in
-        let replan_seconds = Unix.gettimeofday () -. t0 in
+        let replan_seconds = now () -. t0 in
         let throughput_after = Rat.to_float schedule.Schedule.throughput in
         let lb_after =
           Option.map
             (fun (s : Formulations.solution) -> s.Formulations.throughput)
-            (Formulations.multicast_lb survivor)
+            (Lp_cache.multicast_lb survivor)
         in
         Ok
           {

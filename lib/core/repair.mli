@@ -51,12 +51,20 @@ type report = {
   lost_targets : int list;  (** targets that died with their node *)
 }
 
-(** [plan ?before p damage] re-plans on the surviving platform. [before] is
-    the schedule that was running (its throughput is the baseline and the
-    report is tagged [baseline = `Given]); when absent the baseline is a
-    fresh MCPH plan on the undamaged platform ([baseline = `Fresh_mcph]) —
-    an explicit choice, not a silent default: see {!report.baseline}.
-    Errors when the survivor cannot serve the remaining targets. *)
-val plan : ?before:Schedule.t -> Platform.t -> damage -> (report, string) result
+(** [plan ?now ?before p damage] re-plans on the surviving platform.
+    [before] is the schedule that was running (its throughput is the
+    baseline and the report is tagged [baseline = `Given]); when absent the
+    baseline is a fresh MCPH plan on the undamaged platform
+    ([baseline = `Fresh_mcph]) — an explicit choice, not a silent default:
+    see {!report.baseline}. [now] (default [Unix.gettimeofday]) is the clock
+    behind [replan_seconds]; tests inject a fake one so timing assertions
+    are deterministic. [lb_after] is solved through {!Lp_cache}. Errors when
+    the survivor cannot serve the remaining targets. *)
+val plan :
+  ?now:(unit -> float) ->
+  ?before:Schedule.t ->
+  Platform.t ->
+  damage ->
+  (report, string) result
 
 val pp_report : Format.formatter -> report -> unit

@@ -75,16 +75,34 @@ let tree_survives tree ~source ~dead_edges ~dead_nodes ~targets =
   if not (node_dead source) then visit source;
   List.for_all (fun t -> Hashtbl.mem reached t) targets
 
-let score ?(with_lb = false) (p : Platform.t) (sched : Schedule.t) ~failures =
+(* The survivor of a failure depends only on the platform and the failure —
+   not on the candidate schedule being scored. The planner scores many
+   candidates against the same failure list, so survivors are prepared once
+   ({!prepare}) and shared across all of them; [apply_damage] copies the
+   whole graph, which made it the dominant cost of candidate scoring. *)
+type prepared_failure = {
+  pf_failure : failure;
+  pf_damage : Repair.damage;
+  pf_survivor : (Platform.t, string) result;
+}
+
+let prepare ?jobs (p : Platform.t) failures =
+  Pool.map ?jobs
+    (fun f ->
+      let damage = damage_of_failure p f in
+      { pf_failure = f; pf_damage = damage; pf_survivor = Repair.apply_damage p damage })
+    failures
+
+let score_prepared ?(with_lb = false) ?jobs (p : Platform.t) (sched : Schedule.t)
+    ~prepared =
   let nominal = Rat.to_float sched.Schedule.throughput in
   let weights =
     Array.map
       (fun m -> Rat.div (Rat.of_int m) sched.Schedule.period)
       sched.Schedule.per_tree_messages
   in
-  let one f =
-    let damage = damage_of_failure p f in
-    match Repair.apply_damage p damage with
+  let one { pf_failure = f; pf_damage = damage; pf_survivor } =
+    match pf_survivor with
     | Error _ -> { sc_failure = f; sc_retention = 0.0; sc_survivor_lb = None }
     | Ok survivor ->
       let retained = ref Rat.zero in
@@ -103,12 +121,14 @@ let score ?(with_lb = false) (p : Platform.t) (sched : Schedule.t) ~failures =
         if with_lb then
           Option.map
             (fun (s : Formulations.solution) -> s.Formulations.throughput)
-            (Formulations.multicast_lb survivor)
+            (Lp_cache.multicast_lb survivor)
         else None
       in
       { sc_failure = f; sc_retention; sc_survivor_lb }
   in
-  let scenario_scores = List.map one failures in
+  (* Scenarios are independent; Pool.map keeps them in input order so the
+     result is identical for every job count. *)
+  let scenario_scores = Pool.map ?jobs one prepared in
   let worst_case =
     List.fold_left (fun acc s -> min acc s.sc_retention) 1.0 scenario_scores
   in
@@ -120,6 +140,9 @@ let score ?(with_lb = false) (p : Platform.t) (sched : Schedule.t) ~failures =
       /. float_of_int (List.length ss)
   in
   { nominal; worst_case; mean; scenario_scores }
+
+let score ?with_lb ?jobs (p : Platform.t) (sched : Schedule.t) ~failures =
+  score_prepared ?with_lb ?jobs p sched ~prepared:(prepare ?jobs p failures)
 
 type candidate = {
   label : string;
@@ -232,7 +255,7 @@ let balanced_set trees =
   if Rat.is_zero !max_occ then None else Some (Tree_set.scale base (Rat.inv !max_occ))
 
 let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(seed = 0)
-    ?(with_lb = false) (p : Platform.t) =
+    ?(with_lb = false) ?jobs (p : Platform.t) =
   match Mcph.run p with
   | None -> Error "robust plan: some target is unreachable"
   | Some r ->
@@ -247,6 +270,9 @@ let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(se
           max_scenarios all_failures
       else all_failures
     in
+    (* One prepared survivor list shared by every candidate scoring pass
+       below (including the with_lb rescore). *)
+    let prepared = prepare ?jobs p failures in
     let mk_candidate label set =
       match Schedule.of_tree_set set with
       | exception Invalid_argument _ -> None
@@ -254,7 +280,7 @@ let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(se
         match Schedule.check schedule with
         | Error _ -> None
         | Ok () ->
-          Some { label; set; schedule; cand_score = score p schedule ~failures })
+          Some { label; set; schedule; cand_score = score_prepared ?jobs p schedule ~prepared })
     in
     let nominal_set = Tree_set.make [ (t0, Multicast_tree.throughput t0) ] in
     (match mk_candidate "mcph" nominal_set with
@@ -282,15 +308,18 @@ let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(se
         | [] -> tree_edges
         | es -> es
       in
-      (* Alternative trees: penalty-reweighted MCPH runs + sibling grafts. *)
+      (* Alternative trees: penalty-reweighted MCPH runs + sibling grafts.
+         The (factor, links) runs are independent deterministic searches;
+         mapping them through the pool keeps their order, so the candidate
+         list (and hence labels and the report) is the same for any job
+         count. *)
       let penalty_trees =
-        List.concat_map
-          (fun f ->
-            let factor = Rat.of_int f in
-            List.filter_map
-              (fun links -> penalized_mcph p links factor)
-              [ critical_tree_edges; tree_edges ])
-          penalties
+        List.filter_map Fun.id
+          (Pool.map ?jobs
+             (fun (f, links) -> penalized_mcph p links (Rat.of_int f))
+             (List.concat_map
+                (fun f -> [ (f, critical_tree_edges); (f, tree_edges) ])
+                penalties))
       in
       let grafts =
         graft_variants p t0 ~edges_to_vary:critical_tree_edges ~max_parents_per_edge:2
@@ -384,7 +413,8 @@ let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(se
           (List.filter (fun c -> not (dominated c)) candidates)
       in
       let rescore c =
-        if with_lb then { c with cand_score = score ~with_lb:true p c.schedule ~failures }
+        if with_lb then
+          { c with cand_score = score_prepared ~with_lb:true ?jobs p c.schedule ~prepared }
         else c
       in
       Ok

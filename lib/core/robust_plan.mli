@@ -55,13 +55,48 @@ type score = {
   scenario_scores : scenario_score list;
 }
 
-(** [score ?with_lb p sched ~failures] evaluates the fixed schedule against
-    each failure: {!Repair.apply_damage} produces the survivor, and a tree
-    of [sched] still counts iff its surviving edges reach every surviving
-    target. [with_lb] (default [false] — one LP per scenario) additionally
-    solves Multicast-LB on each survivor as the per-scenario reference. *)
+(** [score ?with_lb ?jobs p sched ~failures] evaluates the fixed schedule
+    against each failure: {!Repair.apply_damage} produces the survivor, and
+    a tree of [sched] still counts iff its surviving edges reach every
+    surviving target. [with_lb] (default [false] — one LP per scenario)
+    additionally solves Multicast-LB on each survivor as the per-scenario
+    reference, through {!Lp_cache} (survivors recur across candidates).
+    [jobs] (default {!Pool.default_jobs}) scores scenarios on a domain pool;
+    the result is bit-identical for every job count (see {!Pool.map}). *)
 val score :
-  ?with_lb:bool -> Platform.t -> Schedule.t -> failures:failure list -> score
+  ?with_lb:bool ->
+  ?jobs:int ->
+  Platform.t ->
+  Schedule.t ->
+  failures:failure list ->
+  score
+
+(** A failure with its survivor platform already built. The survivor depends
+    only on the platform and the failure — not on the candidate being scored
+    — so callers scoring several candidates against the same failure list
+    should {!prepare} once and reuse it; rebuilding survivors per candidate
+    ({!Repair.apply_damage} copies the whole graph) dominates scoring cost
+    otherwise. *)
+type prepared_failure = {
+  pf_failure : failure;
+  pf_damage : Repair.damage;
+  pf_survivor : (Platform.t, string) result;
+}
+
+(** [prepare ?jobs p failures] builds each failure's survivor, in input
+    order, on a domain pool. *)
+val prepare : ?jobs:int -> Platform.t -> failure list -> prepared_failure list
+
+(** [score_prepared] is {!score} over an already-{!prepare}d failure list;
+    [score p sched ~failures] is [score_prepared p sched
+    ~prepared:(prepare p failures)]. *)
+val score_prepared :
+  ?with_lb:bool ->
+  ?jobs:int ->
+  Platform.t ->
+  Schedule.t ->
+  prepared:prepared_failure list ->
+  score
 
 type candidate = {
   label : string;  (** how the candidate was constructed *)
@@ -99,14 +134,17 @@ type report = {
     portfolio. Scenario sets larger than [max_scenarios] (default [64]) are
     sampled with the seeded rng and reported as such ([sampled]).
     [with_lb] re-scores the nominal and chosen candidates with per-scenario
-    Multicast-LB references. Errors when MCPH itself fails (some target
-    unreachable). *)
+    Multicast-LB references. [jobs] (default {!Pool.default_jobs}) runs the
+    perturbation searches and scenario scoring on a domain pool; reports are
+    bit-identical across job counts. Errors when MCPH itself fails (some
+    target unreachable). *)
 val plan :
   ?loss_bound:float ->
   ?penalties:int list ->
   ?max_scenarios:int ->
   ?seed:int ->
   ?with_lb:bool ->
+  ?jobs:int ->
   Platform.t ->
   (report, string) result
 

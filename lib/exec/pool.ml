@@ -1,0 +1,65 @@
+type stats = { jobs : int; tasks : int; per_worker : int array }
+
+let default_jobs () =
+  match Sys.getenv_opt "MCAST_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+
+(* Each worker claims tasks via [next] and writes results to distinct
+   indices of [results] — disjoint writes, so no lock is needed. Workers
+   never share anything else; ordering falls out of the index.
+
+   [oversubscribe] lifts the core-count cap (see the mli): tests use it to
+   exercise the multi-domain path on any machine. *)
+let run_pool ?(oversubscribe = false) ~jobs f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let cores = Domain.recommended_domain_count () in
+  let jobs = if oversubscribe then jobs else min jobs cores in
+  let jobs = if jobs < 1 then 1 else min jobs (max n 1) in
+  let per_worker = Array.make jobs 0 in
+  let next = Atomic.make 0 in
+  let worker w =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = try Ok (f tasks.(i)) with e -> Error e in
+        results.(i) <- Some r;
+        per_worker.(w) <- per_worker.(w) + 1;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if jobs = 1 then worker 0
+  else begin
+    let domains = Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+    worker 0;
+    Array.iter Domain.join domains
+  end;
+  let results =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> Error (Failure "Pool: task not executed")
+        (* unreachable: every index below [n] is claimed exactly once *))
+      results
+  in
+  (results, { jobs; tasks = n; per_worker })
+
+let map_result ?oversubscribe ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let results, _ = run_pool ?oversubscribe ~jobs f (Array.of_list xs) in
+  Array.to_list results
+
+let reraise_first results =
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results
+
+let map_stats ?oversubscribe ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let results, stats = run_pool ?oversubscribe ~jobs f (Array.of_list xs) in
+  reraise_first results;
+  ( Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) results),
+    stats )
+
+let map ?oversubscribe ?jobs f xs = fst (map_stats ?oversubscribe ?jobs f xs)

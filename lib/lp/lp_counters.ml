@@ -1,0 +1,44 @@
+type snapshot = {
+  float_solves : int;
+  exact_solves : int;
+  pivots : int;
+  exact_pivots : int;
+}
+
+let float_solves = Atomic.make 0
+let exact_solves = Atomic.make 0
+let pivots = Atomic.make 0
+let exact_pivots = Atomic.make 0
+
+let add counter n = if n <> 0 then ignore (Atomic.fetch_and_add counter n)
+let record_float_solve () = add float_solves 1
+let record_exact_solve () = add exact_solves 1
+let record_pivots n = add pivots n
+let record_exact_pivots n = add exact_pivots n
+
+let snapshot () =
+  {
+    float_solves = Atomic.get float_solves;
+    exact_solves = Atomic.get exact_solves;
+    pivots = Atomic.get pivots;
+    exact_pivots = Atomic.get exact_pivots;
+  }
+
+let reset () =
+  Atomic.set float_solves 0;
+  Atomic.set exact_solves 0;
+  Atomic.set pivots 0;
+  Atomic.set exact_pivots 0
+
+let since before =
+  let now = snapshot () in
+  {
+    float_solves = now.float_solves - before.float_solves;
+    exact_solves = now.exact_solves - before.exact_solves;
+    pivots = now.pivots - before.pivots;
+    exact_pivots = now.exact_pivots - before.exact_pivots;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "LP solves %d (exact fallbacks %d), pivots %d (exact %d)"
+    s.float_solves s.exact_solves s.pivots s.exact_pivots

@@ -1,0 +1,37 @@
+(** Process-wide LP telemetry counters.
+
+    Monotonic tallies of solver activity — how many times each engine ran and
+    how many pivots it spent — maintained with [Atomic] so that concurrent
+    solves on separate domains count correctly. These are {e telemetry only}:
+    per-solve counts live in the solution records ({!Simplex.solution.pivots},
+    {!Simplex_exact.solution.pivots}); nothing in the solvers reads these
+    counters back, so they cannot affect results.
+
+    [reset] is not linearizable against in-flight solves; call it only from
+    sequential sections (benchmark setup, CLI entry), or use [snapshot] +
+    [since] for race-free window accounting. *)
+
+type snapshot = {
+  float_solves : int;  (** calls to {!Simplex.solve} *)
+  exact_solves : int;  (** calls to {!Simplex_exact.solve} *)
+  pivots : int;  (** total float-engine pivots, both phases *)
+  exact_pivots : int;  (** total exact-engine pivots *)
+}
+
+(** Incremented by the solver engines; exposed for engines only. *)
+
+val record_float_solve : unit -> unit
+val record_exact_solve : unit -> unit
+val record_pivots : int -> unit
+val record_exact_pivots : int -> unit
+
+(** Current totals (atomic reads; consistent enough for reporting). *)
+val snapshot : unit -> snapshot
+
+(** Zero every counter. Sequential sections only (see above). *)
+val reset : unit -> unit
+
+(** [since before] is the per-field delta from [before] to now. *)
+val since : snapshot -> snapshot
+
+val pp : Format.formatter -> snapshot -> unit

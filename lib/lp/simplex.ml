@@ -2,11 +2,11 @@ type solution = {
   values : float array;
   objective : float;
   row_duals : float array;
+  pivots : int;
 }
 type status = Optimal of solution | Infeasible | Unbounded | Stalled
 
 let epsilon = 1e-9
-let last_iterations = ref 0
 let debug = Sys.getenv_opt "MCAST_LP_DEBUG" <> None
 let max_iterations = 200_000
 let stall_window = 512 (* degenerate iterations before switching to Bland *)
@@ -137,6 +137,9 @@ let leaving t q =
 
 type phase_result = P_optimal | P_unbounded | P_stalled
 
+(* Returns the phase verdict together with the pivot count of this phase.
+   The count is purely local — no state survives the call, so concurrent
+   solves on separate domains cannot interfere. *)
 let run_phase t ~max_iter ~allow =
   let iter = ref 0 in
   let t0 = Unix.gettimeofday () in
@@ -170,11 +173,10 @@ let run_phase t ~max_iter ~allow =
           end)
     end
   done;
-  last_iterations := !last_iterations + !iter;
   if debug then
     Printf.eprintf "[simplex] phase: %d iters, %dx%d, %.2fs\n%!" !iter t.m t.ncols
       (Unix.gettimeofday () -. t0);
-  Option.get !result
+  (Option.get !result, !iter)
 
 let build model =
   let maximize, obj = Lp_model.objective model in
@@ -271,17 +273,19 @@ let set_cost t coeffs =
 let solve ?(max_iter = max_iterations) model =
   let t, maximize, obj, aux_col, aux_sign = build model in
   let has_art = t.ncols > t.art_start in
-  let phase1 =
-    if not has_art then P_optimal
+  let phase1, p1_pivots =
+    if not has_art then (P_optimal, 0)
     else begin
       let art_cost = List.init (t.ncols - t.art_start) (fun k -> (1.0, t.art_start + k)) in
       set_cost t art_cost;
       (* The phase-1 objective is bounded below by zero: if the initial
          basis already sits at zero we are optimal without pivoting. *)
-      if abs_float t.cost.(t.ncols) <= epsilon then P_optimal
+      if abs_float t.cost.(t.ncols) <= epsilon then (P_optimal, 0)
       else run_phase t ~max_iter ~allow:(fun _ -> true)
     end
   in
+  Lp_counters.record_float_solve ();
+  Lp_counters.record_pivots p1_pivots;
   match phase1 with
   | P_stalled -> Stalled
   | P_unbounded -> Infeasible (* phase-1 objective is bounded below by 0 *)
@@ -294,7 +298,9 @@ let solve ?(max_iter = max_iterations) model =
       let sign = if maximize then -1.0 else 1.0 in
       set_cost t (List.map (fun (c, v) -> (sign *. c, v)) obj);
       let allow j = j < t.art_start in
-      match run_phase t ~max_iter ~allow with
+      let phase2, p2_pivots = run_phase t ~max_iter ~allow in
+      Lp_counters.record_pivots p2_pivots;
+      match phase2 with
       | P_stalled -> Stalled
       | P_unbounded -> Unbounded
       | P_optimal ->
@@ -317,7 +323,7 @@ let solve ?(max_iter = max_iterations) model =
               if aux_col.(i) < 0 then 0.0
               else -.sign *. aux_sign.(i) *. t.cost.(aux_col.(i)))
         in
-        Optimal { values; objective; row_duals }
+        Optimal { values; objective; row_duals; pivots = p1_pivots + p2_pivots }
     end
 
 let solve_exn model =

@@ -16,6 +16,10 @@ type solution = {
           ([d objective / d rhs]); valid as-is for rows with non-negative
           right-hand sides (rows normalized by negation get a flipped
           sign). Used by the column-generation arborescence packing. *)
+  pivots : int;
+      (** pivot count of this solve, summed over both phases. Per-solve and
+          never accumulated: the engine keeps no state across calls, so
+          concurrent solves on separate domains are independent. *)
 }
 
 type status =

@@ -1,4 +1,4 @@
-type solution = { values : Rat.t array; objective : Rat.t }
+type solution = { values : Rat.t array; objective : Rat.t; pivots : int }
 type status = Optimal of solution | Infeasible | Unbounded
 
 type tableau = {
@@ -74,7 +74,8 @@ let leaving t q =
 
 type phase_result = P_optimal | P_unbounded
 
-let rec run_phase t ~allow =
+(* [count] tallies pivots across the whole solve; purely local to one call. *)
+let rec run_phase t ~count ~allow =
   match entering t ~allow with
   | None -> P_optimal
   | Some q -> (
@@ -82,7 +83,8 @@ let rec run_phase t ~allow =
     | None -> P_unbounded
     | Some r ->
       pivot t r q;
-      run_phase t ~allow)
+      incr count;
+      run_phase t ~count ~allow)
 
 let set_cost t coeffs =
   Array.fill t.cost 0 (t.ncols + 1) Rat.zero;
@@ -100,7 +102,7 @@ let set_cost t coeffs =
     end
   done
 
-let purge_artificials t =
+let purge_artificials t ~count =
   for i = 0 to t.m - 1 do
     if t.alive.(i) && t.basis.(i) >= t.art_start then begin
       let row = t.a.(i) in
@@ -110,7 +112,11 @@ let purge_artificials t =
         if not (Rat.is_zero row.(!j)) then q := !j;
         incr j
       done;
-      if !q >= 0 then pivot t i !q else t.alive.(i) <- false
+      if !q >= 0 then begin
+        pivot t i !q;
+        incr count
+      end
+      else t.alive.(i) <- false
     end
   done
 
@@ -174,36 +180,44 @@ let solve ~n_vars ~maximize ~objective rows =
     }
   in
   let has_art = ncols > art_start in
-  let phase1 =
-    if not has_art then P_optimal
-    else begin
-      let art_cost = List.init (ncols - art_start) (fun k -> (Rat.one, art_start + k)) in
-      set_cost t art_cost;
-      run_phase t ~allow:(fun _ -> true)
-    end
+  let count = ref 0 in
+  let status =
+    let phase1 =
+      if not has_art then P_optimal
+      else begin
+        let art_cost =
+          List.init (ncols - art_start) (fun k -> (Rat.one, art_start + k))
+        in
+        set_cost t art_cost;
+        run_phase t ~count ~allow:(fun _ -> true)
+      end
+    in
+    match phase1 with
+    | P_unbounded -> Infeasible
+    | P_optimal ->
+      let phase1_obj = Rat.neg t.cost.(ncols) in
+      if has_art && Rat.(phase1_obj > zero) then Infeasible
+      else begin
+        if has_art then purge_artificials t ~count;
+        let flip = if maximize then Rat.neg else Fun.id in
+        set_cost t (List.map (fun (c, v) -> (flip c, v)) objective);
+        let allow j = j < art_start in
+        match run_phase t ~count ~allow with
+        | P_unbounded -> Unbounded
+        | P_optimal ->
+          let values = Array.make n_vars Rat.zero in
+          for i = 0 to m - 1 do
+            if t.alive.(i) && t.basis.(i) < n_vars then
+              values.(t.basis.(i)) <- t.a.(i).(ncols)
+          done;
+          let internal = Rat.neg t.cost.(ncols) in
+          let objective = if maximize then Rat.neg internal else internal in
+          Optimal { values; objective; pivots = !count }
+      end
   in
-  match phase1 with
-  | P_unbounded -> Infeasible
-  | P_optimal ->
-    let phase1_obj = Rat.neg t.cost.(ncols) in
-    if has_art && Rat.(phase1_obj > zero) then Infeasible
-    else begin
-      if has_art then purge_artificials t;
-      let flip = if maximize then Rat.neg else Fun.id in
-      set_cost t (List.map (fun (c, v) -> (flip c, v)) objective);
-      let allow j = j < art_start in
-      match run_phase t ~allow with
-      | P_unbounded -> Unbounded
-      | P_optimal ->
-        let values = Array.make n_vars Rat.zero in
-        for i = 0 to m - 1 do
-          if t.alive.(i) && t.basis.(i) < n_vars then
-            values.(t.basis.(i)) <- t.a.(i).(ncols)
-        done;
-        let internal = Rat.neg t.cost.(ncols) in
-        let objective = if maximize then Rat.neg internal else internal in
-        Optimal { values; objective }
-    end
+  Lp_counters.record_exact_solve ();
+  Lp_counters.record_exact_pivots !count;
+  status
 
 let solve_exn ~n_vars ~maximize ~objective rows =
   match solve ~n_vars ~maximize ~objective rows with

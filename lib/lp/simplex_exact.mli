@@ -10,6 +10,9 @@
 type solution = {
   values : Rat.t array; (** one value per structural variable *)
   objective : Rat.t;
+  pivots : int;
+      (** pivot count of this solve (both phases plus artificial purging);
+          per-solve, never accumulated across calls *)
 }
 
 type status = Optimal of solution | Infeasible | Unbounded

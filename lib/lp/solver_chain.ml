@@ -27,6 +27,7 @@ let solve_exact model =
           Simplex.values = Array.map Rat.to_float sol.Simplex_exact.values;
           objective = Rat.to_float sol.Simplex_exact.objective;
           row_duals = [||];
+          pivots = sol.Simplex_exact.pivots;
         },
         `Exact )
 

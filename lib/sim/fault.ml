@@ -9,17 +9,40 @@ let validate (p : Platform.t) s =
   let g = p.Platform.graph in
   let n = Digraph.n_nodes g in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  (* First kill time per entity: a repeated kill at the same time is the
+     same event stated twice (idempotent, accepted); at a different time it
+     asserts the entity died twice — contradictory, rejected. *)
+  let edge_killed_at = Hashtbl.create 16 in
+  let node_killed_at = Hashtbl.create 16 in
   let rec go = function
     | [] -> Ok ()
-    | Kill_edge { src; dst; at } :: rest ->
+    | Kill_edge { src; dst; at } :: rest -> (
       if not (Digraph.mem_edge g ~src ~dst) then err "kill-edge %d->%d: no such edge" src dst
       else if Rat.(at < zero) then err "kill-edge %d->%d: negative fire time" src dst
-      else go rest
-    | Kill_node { node; at } :: rest ->
+      else
+        match Hashtbl.find_opt edge_killed_at (src, dst) with
+        | Some at' when not (Rat.equal at at') ->
+          err "kill-edge %d->%d: killed twice, at %s and %s" src dst (Rat.to_string at')
+            (Rat.to_string at)
+        | _ ->
+          Hashtbl.replace edge_killed_at (src, dst) at;
+          go rest)
+    | Kill_node { node; at } :: rest -> (
       if node < 0 || node >= n then err "kill-node %d: out of range" node
       else if Rat.(at < zero) then err "kill-node %d: negative fire time" node
-      else go rest
+      else
+        match Hashtbl.find_opt node_killed_at node with
+        | Some at' when not (Rat.equal at at') ->
+          err "kill-node %d: killed twice, at %s and %s" node (Rat.to_string at')
+            (Rat.to_string at)
+        | _ ->
+          Hashtbl.replace node_killed_at node at;
+          go rest)
     | Degrade_edge { src; dst; at; factor } :: rest ->
+      (* A degrade firing at-or-after a kill of the edge (or an endpoint)
+         is a no-op, not an error: the simulator consults kills first
+         ({!edge_dead}), and the recovery planner drops dead edges before
+         applying factors. Validation accepts it. *)
       if not (Digraph.mem_edge g ~src ~dst) then
         err "degrade-edge %d->%d: no such edge" src dst
       else if Rat.(factor < one) then err "degrade-edge %d->%d: factor < 1" src dst
@@ -44,11 +67,25 @@ let slowdown s ~src ~dst ~at =
       | _ -> acc)
     Rat.one s
 
+(* First-occurrence dedup: duplicate kills are idempotent (see validate),
+   so the end-state damage lists each dead entity once. *)
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    xs
+
 let damage s =
   {
     Repair.dead_edges =
-      List.filter_map (function Kill_edge e -> Some (e.src, e.dst) | _ -> None) s;
-    dead_nodes = List.filter_map (function Kill_node k -> Some k.node | _ -> None) s;
+      dedup (List.filter_map (function Kill_edge e -> Some (e.src, e.dst) | _ -> None) s);
+    dead_nodes =
+      dedup (List.filter_map (function Kill_node k -> Some k.node | _ -> None) s);
     degraded =
       List.filter_map (function Degrade_edge d -> Some ((d.src, d.dst), d.factor) | _ -> None) s;
   }

@@ -17,7 +17,22 @@ type event =
 type scenario = event list
 
 (** [validate p s] checks node ids in range, killed/degraded edges present
-    in the platform, factors [>= 1] and fire times [>= 0]. *)
+    in the platform, factors [>= 1] and fire times [>= 0].
+
+    Overlap semantics (normative for the simulator and {!damage}):
+    - {e Duplicate kills are idempotent.} Killing the same edge or node
+      twice {e at the same time} is the same event stated twice; it
+      validates, and {!damage} reports the entity dead once. Killing the
+      same entity at two {e different} times asserts it died twice — the
+      scenario is contradictory and is rejected.
+    - {e Degrading a dead edge is a no-op.} A [Degrade_edge] firing
+      at-or-after a kill of that edge (or of an endpoint node) validates
+      but has no effect: the replay consults kills first ({!edge_dead}
+      short-circuits {!slowdown}), and the recovery planner removes dead
+      edges before applying degradation factors. A degrade {e before} the
+      kill applies normally until the kill fires.
+    - Degrading the same edge repeatedly is not an overlap at all: the
+      factors compose multiplicatively ({!slowdown}). *)
 val validate : Platform.t -> scenario -> (unit, string) result
 
 (** [edge_dead s ~src ~dst ~at] — has a kill (of the edge or an endpoint)
@@ -29,7 +44,9 @@ val edge_dead : scenario -> src:int -> dst:int -> at:Rat.t -> bool
 val slowdown : scenario -> src:int -> dst:int -> at:Rat.t -> Rat.t
 
 (** [damage s] is the scenario's end state — every event fired — in the
-    recovery planner's vocabulary. *)
+    recovery planner's vocabulary. Duplicate kills collapse to one entry
+    (first occurrence kept); degradation factors are passed through as-is
+    and compose inside {!Repair.apply_damage}. *)
 val damage : scenario -> Repair.damage
 
 (** [random_link_kills rng p ~rate ~at] kills each {e undirected} link

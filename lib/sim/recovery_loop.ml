@@ -49,7 +49,8 @@ let fault_time = function
 
 let rec int_pow b = function 0 -> 1 | n -> b * int_pow b (n - 1)
 
-let run ?policy ?(planner : planner = fun ?before p d -> Repair.plan ?before p d)
+let run ?(now = Unix.gettimeofday) ?policy
+    ?(planner : planner = fun ?before p d -> Repair.plan ?before p d)
     (p : Platform.t) (sched : Schedule.t) (scenario : Fault.scenario) =
   let pol = match policy with Some pol -> pol | None -> default_policy p in
   let horizon = max pol.horizon_periods (Schedule.init_periods sched + 3) in
@@ -81,9 +82,9 @@ let run ?policy ?(planner : planner = fun ?before p d -> Repair.plan ?before p d
       incr attempts;
       let n = !attempts in
       emit (Replan_attempt { n; at = !clock });
-      let t0 = Unix.gettimeofday () in
+      let t0 = now () in
       let result = planner ~before:sched plat damage in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = now () -. t0 in
       if dt > pol.replan_deadline then begin
         emit (Deadline_exceeded { n; seconds = dt; deadline = pol.replan_deadline });
         emit (Fallback_to_checkpoint { n });

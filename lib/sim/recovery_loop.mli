@@ -76,9 +76,18 @@ type outcome = {
 }
 
 (** [run p sched scenario] drives the loop. The scenario must validate
-    against [p]; the initial schedule is the first checkpoint. *)
+    against [p]; the initial schedule is the first checkpoint. [now]
+    (default [Unix.gettimeofday]) is the wall clock the per-attempt deadline
+    is measured against — tests inject a fake clock to provoke deadline
+    overruns deterministically instead of sleeping under a tight deadline. *)
 val run :
-  ?policy:policy -> ?planner:planner -> Platform.t -> Schedule.t -> Fault.scenario -> outcome
+  ?now:(unit -> float) ->
+  ?policy:policy ->
+  ?planner:planner ->
+  Platform.t ->
+  Schedule.t ->
+  Fault.scenario ->
+  outcome
 
 val event_name : event -> string
 val pp_event : Format.formatter -> event -> unit

@@ -17,5 +17,6 @@ let () =
       ("schedule", Test_schedule.suite);
       ("resilience", Test_resilience.suite);
       ("robust", Test_robust.suite);
+      ("exec", Test_exec.suite);
       ("prefix", Test_prefix.suite);
     ]

@@ -116,6 +116,57 @@ let test_fault_validation () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+let test_fault_overlap_semantics () =
+  let p = Paper_platforms.two_relay () in
+  let ok s =
+    match Fault.validate p s with Ok () -> () | Error e -> Alcotest.fail e
+  in
+  let bad s =
+    match Fault.validate p s with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "scenario should have been rejected"
+  in
+  (* duplicate kills at the same time are the same event stated twice *)
+  ok
+    [
+      Fault.Kill_edge { src = 0; dst = 1; at = Rat.one };
+      Fault.Kill_edge { src = 0; dst = 1; at = Rat.one };
+    ];
+  ok
+    [
+      Fault.Kill_node { node = 1; at = Rat.one };
+      Fault.Kill_node { node = 1; at = Rat.one };
+    ];
+  (* ... but killing the same entity at two different times is contradictory *)
+  bad
+    [
+      Fault.Kill_edge { src = 0; dst = 1; at = Rat.one };
+      Fault.Kill_edge { src = 0; dst = 1; at = Rat.of_int 2 };
+    ];
+  bad
+    [
+      Fault.Kill_node { node = 1; at = Rat.zero };
+      Fault.Kill_node { node = 1; at = Rat.one };
+    ];
+  (* degrading a dead edge is a no-op, not an error *)
+  ok
+    [
+      Fault.Kill_edge { src = 0; dst = 1; at = Rat.one };
+      Fault.Degrade_edge { src = 0; dst = 1; at = Rat.of_int 2; factor = Rat.of_int 3 };
+    ];
+  (* duplicate kills collapse to one damage entry *)
+  let d =
+    Fault.damage
+      [
+        Fault.Kill_edge { src = 0; dst = 1; at = Rat.one };
+        Fault.Kill_edge { src = 0; dst = 1; at = Rat.one };
+        Fault.Kill_node { node = 1; at = Rat.one };
+        Fault.Kill_node { node = 1; at = Rat.one };
+      ]
+  in
+  Alcotest.(check (list (pair int int))) "dead edges deduped" [ (0, 1) ] d.Repair.dead_edges;
+  Alcotest.(check (list int)) "dead nodes deduped" [ 1 ] d.Repair.dead_nodes
+
 (* --- hand-corrupted schedules trip the replay detectors --------------- *)
 
 let test_detects_port_overlap () =
@@ -316,6 +367,7 @@ let suite =
     ("faulty replay: node kill closes both ports", `Quick, test_kill_node_kills_both_ports);
     ("faulty replay: degradation milder than kill", `Quick, test_degrade_slows_but_delivers_late);
     ("fault scenarios validated", `Quick, test_fault_validation);
+    ("fault overlap semantics", `Quick, test_fault_overlap_semantics);
     ("detector: one-port overlap", `Quick, test_detects_port_overlap);
     ("detector: forwarding before reception", `Quick, test_detects_causality_violation);
     ("detector: dropped delivery", `Quick, test_detects_dropped_delivery);

@@ -224,15 +224,20 @@ let test_recovery_full_sequence () =
 let test_recovery_deadline_fallback () =
   (* A planner that overruns the per-attempt deadline: the controller logs
      the overrun, falls back to the checkpoint, and (with max_attempts = 1
-     and no droppable recovery possible for a sleeping planner) gives up,
-     leaving the checkpointed schedule in force. *)
+     and no droppable recovery possible for a slow planner) gives up,
+     leaving the checkpointed schedule in force. The overrun is driven by a
+     fake clock advancing 0.05s per reading — no sleeping, no sensitivity
+     to machine load. *)
   let p = Paper_platforms.two_relay () in
   let sched = two_relay_sched () in
   let scenario = [ Fault.Kill_node { node = 1; at = Rat.zero } ] in
-  let sleepy ?before:_ _ _ =
-    Unix.sleepf 0.05;
-    Error "slow planner never answers in time"
+  let fake_time = ref 0.0 in
+  let now () =
+    let t = !fake_time in
+    fake_time := t +. 0.05;
+    t
   in
+  let slow ?before:_ _ _ = Error "slow planner never answers in time" in
   let policy =
     {
       (Recovery_loop.default_policy p) with
@@ -241,7 +246,7 @@ let test_recovery_deadline_fallback () =
       drop_order = [];
     }
   in
-  let o = Recovery_loop.run ~policy ~planner:sleepy p sched scenario in
+  let o = Recovery_loop.run ~now ~policy ~planner:slow p sched scenario in
   Alcotest.(check (list string)) "deadline sequence"
     [
       "failure-observed"; "replan-attempt"; "deadline-exceeded";
