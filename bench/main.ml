@@ -14,6 +14,7 @@ let big_trials = ref 3
 let only : string list ref = ref []
 let fast = ref false
 let jobs = ref (Pool.default_jobs ())
+let trace_out : string option ref = ref None
 
 let parse_args () =
   let rec go = function
@@ -37,6 +38,9 @@ let parse_args () =
       go rest
     | "--jobs" :: n :: rest ->
       jobs := int_of_string n;
+      go rest
+    | "--trace" :: f :: rest ->
+      trace_out := Some f;
       go rest
     | other :: _ -> failwith ("unknown argument: " ^ other)
   in
@@ -214,6 +218,11 @@ let fig11_data params n_trials ~tries =
 
 let ensure_out_dir () =
   try Unix.mkdir !out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* Single point of truth for the machine-readable summary names: BENCH_2
+   (robustness tables), BENCH_3 (parallel engine), BENCH_4 (metrics
+   registry). CI archives bench_out/BENCH_*.json. *)
+let bench_json_file n = Filename.concat !out_dir (Printf.sprintf "BENCH_%d.json" n)
 
 (* Gnuplot-ready data files: one row per density, one column per method —
    the paper's Fig. 11 panels are plots of exactly these series. *)
@@ -850,7 +859,7 @@ let pseries () =
   fld false "cache_hit_rate" (Printf.sprintf "%.4f" hit_rate);
   fld true "bit_identical" (if identical then "true" else "false");
   Buffer.add_string buf "}\n";
-  let fname = Filename.concat !out_dir "BENCH_3.json" in
+  let fname = bench_json_file 3 in
   let oc = open_out fname in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
   Printf.printf "parallel-engine summary: %s\n" fname
@@ -895,13 +904,28 @@ let write_bench_json () =
         (Printf.sprintf "    }%s\n" (if i = List.length !r2_table - 1 then "" else ",")))
     !r2_table;
   Buffer.add_string buf "  }\n}\n";
-  let fname = Filename.concat !out_dir "BENCH_2.json" in
+  let fname = bench_json_file 2 in
   let oc = open_out fname in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
   Printf.printf "robustness summary: %s\n" fname
 
+(* BENCH_4.json: the metrics-registry snapshot accumulated over the whole
+   bench run — LP solve/pivot totals, per-caller cache hits, pool task
+   counts, heuristic timings (PR 4 observability layer). *)
+let write_metrics_json () =
+  ensure_out_dir ();
+  let fname = bench_json_file 4 in
+  let oc = open_out fname in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Metrics.to_json (Metrics.snapshot ()));
+      output_char oc '\n');
+  Printf.printf "metrics snapshot: %s\n" fname
+
 let () =
   parse_args ();
+  if !trace_out <> None then Trace.enable ();
   let t0 = Unix.gettimeofday () in
   if want "fig1" then fig1 ();
   if want "table_complexity" then table_complexity ();
@@ -919,4 +943,13 @@ let () =
   if want "pseries" then pseries ();
   if want "prefix" then prefix ();
   if !r1_table <> [] || !r2_table <> [] then write_bench_json ();
+  write_metrics_json ();
+  (match !trace_out with
+  | None -> ()
+  | Some path ->
+    let n = List.length (Trace.events ()) and d = Trace.dropped () in
+    Trace.export path;
+    Trace.disable ();
+    Printf.printf "trace: wrote %d events to %s%s\n" n path
+      (if d > 0 then Printf.sprintf " (%d dropped: ring full)" d else ""));
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -41,6 +41,41 @@ let jobs_arg =
   in
   Arg.(value & opt int (Pool.default_jobs ()) & info [ "jobs" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a Chrome-trace of the run into $(docv) (JSON; open in \
+     chrome://tracing or https://ui.perfetto.dev). Spans carry the worker \
+     domain id, so a --jobs N run shows pool utilization directly."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the metrics-registry deltas accumulated during the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Bracket a subcommand body with the observability layer: start tracing if
+   --trace was given, snapshot the metric registry if --metrics was, and on
+   the way out (even on failure) export the trace and print the deltas. *)
+let with_observability ~trace ~metrics f =
+  if trace <> None then Trace.enable ();
+  let before = if metrics then Some (Metrics.snapshot ()) else None in
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | None -> ()
+      | Some path ->
+        let n = List.length (Trace.events ()) and d = Trace.dropped () in
+        Trace.export path;
+        Trace.disable ();
+        Printf.printf "trace: wrote %d events to %s%s\n" n path
+          (if d > 0 then Printf.sprintf " (%d dropped: ring full)" d else ""));
+      match before with
+      | None -> ()
+      | Some before ->
+        print_string "metrics:\n";
+        print_string (Metrics.to_text (Metrics.delta ~before (Metrics.snapshot ()))))
+    f
+
 (* One-line solver/cache telemetry, printed after the heavy subcommands. *)
 let print_perf_counters () =
   let c = Lp_counters.snapshot () in
@@ -277,7 +312,8 @@ let scatter_schedule_cmd =
 (* --- resilience --- *)
 
 let resilience file kind seed n_targets kill_edges kill_nodes degrades at periods online
-    max_attempts drop_order jobs =
+    max_attempts drop_order jobs trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p =
     match file with
     | Some _ -> read_platform file
@@ -423,11 +459,13 @@ let resilience_cmd =
        ~doc:"Inject failures into a replay, re-plan on the survivors, report retention")
     Term.(
       const resilience $ platform_arg $ kind $ seed_arg $ n_targets $ kill_edge $ kill_node
-      $ degrade $ at $ periods $ online $ max_attempts $ drop_order $ jobs_arg)
+      $ degrade $ at $ periods $ online $ max_attempts $ drop_order $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- robust --- *)
 
-let robust file kind seed n_targets loss_bound max_scenarios with_lb jobs =
+let robust file kind seed n_targets loss_bound max_scenarios with_lb jobs trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p =
     match file with
     | Some _ -> read_platform file
@@ -489,7 +527,7 @@ let robust_cmd =
        ~doc:"Proactive robust planning: maximize worst-case single-failure retention")
     Term.(
       const robust $ platform_arg $ kind $ seed_arg $ n_targets $ loss_bound
-      $ max_scenarios $ with_lb $ jobs_arg)
+      $ max_scenarios $ with_lb $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- prefix --- *)
 

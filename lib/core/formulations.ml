@@ -502,19 +502,48 @@ let solve_max ?(two_sided = true) (p : Platform.t) =
 
 (* ------------------------------------------------------------------ *)
 
+(* Per-formulation spans and counters: one span per public bound solved,
+   so a trace attributes the underlying lp.solve spans (and their pivots)
+   to the formulation that triggered them. Args live in ?result closures —
+   free when tracing is disabled. *)
+
+let lb_rounds = Metrics.histogram "formulations.lb_cut_rounds"
+
+let formulation_span name (p : Platform.t) solve =
+  Trace.with_span ~cat:"lp" name
+    ~result:(fun r ->
+      ("nodes", Trace.Int (Platform.n_nodes p))
+      :: ("targets", Trace.Int (List.length p.Platform.targets))
+      ::
+      (match r with
+      | None -> [ ("feasible", Trace.Bool false) ]
+      | Some (s : solution) -> [ ("throughput", Trace.Float s.throughput) ]))
+    solve
+
 let multicast_ub (p : Platform.t) =
-  solve_sum p (List.map (fun t -> (t, [ p.Platform.source ])) p.Platform.targets)
+  formulation_span "formulations.multicast_ub" p (fun () ->
+      solve_sum p (List.map (fun t -> (t, [ p.Platform.source ])) p.Platform.targets))
 
 let multicast_ub_colgen (p : Platform.t) =
-  solve_sum_colgen p (List.map (fun t -> (t, [ p.Platform.source ])) p.Platform.targets)
+  formulation_span "formulations.multicast_ub_colgen" p (fun () ->
+      solve_sum_colgen p (List.map (fun t -> (t, [ p.Platform.source ])) p.Platform.targets))
 
-let multicast_lb (p : Platform.t) = Option.map fst (solve_max p)
+let solve_max_counted ?two_sided p =
+  let r = solve_max ?two_sided p in
+  (match r with Some (_, rounds) -> Metrics.observe lb_rounds (float_of_int rounds) | None -> ());
+  r
 
-let broadcast_eb (p : Platform.t) = Option.map fst (solve_max (Platform.broadcast_of p))
+let multicast_lb (p : Platform.t) =
+  formulation_span "formulations.multicast_lb" p (fun () ->
+      Option.map fst (solve_max_counted p))
 
-let multicast_lb_stats ?two_sided (p : Platform.t) = solve_max ?two_sided p
+let broadcast_eb (p : Platform.t) =
+  formulation_span "formulations.broadcast_eb" p (fun () ->
+      Option.map fst (solve_max_counted (Platform.broadcast_of p)))
 
-let multisource_ub (p : Platform.t) ~sources =
+let multicast_lb_stats ?two_sided (p : Platform.t) = solve_max_counted ?two_sided p
+
+let multisource_ub_impl (p : Platform.t) ~sources =
   (match sources with
   | s0 :: _ when s0 = p.Platform.source -> ()
   | _ -> invalid_arg "Formulations.multisource_ub: sources must start with the platform source");
@@ -537,3 +566,7 @@ let multisource_ub (p : Platform.t) ~sources =
     (fun t -> if not (List.mem t sources) then groups := (t, sources) :: !groups)
     p.Platform.targets;
   solve_sum p !groups
+
+let multisource_ub (p : Platform.t) ~sources =
+  formulation_span "formulations.multisource_ub" p (fun () ->
+      multisource_ub_impl p ~sources)

@@ -13,10 +13,17 @@ type report = {
 let method_names =
   [ "scatter"; "lower bound"; "broadcast"; "MCPH"; "Augm. MC"; "Red. BC"; "Multisource MC" ]
 
+let method_seconds = Metrics.histogram "heuristics.method_seconds"
+
 let timed ~now name f =
   let t0 = now () in
-  let period = f () in
+  let period =
+    Trace.with_span ~cat:"heuristic" ("heuristic." ^ name)
+      ~result:(fun period -> [ ("period", Trace.Float period) ])
+      f
+  in
   let wall_time = now () -. t0 in
+  Metrics.observe method_seconds wall_time;
   let period = if period <= 0.0 then infinity else period in
   { name; period; throughput = 1.0 /. period; wall_time }
 

@@ -22,7 +22,9 @@ val method_names : string list
     [max_tries_per_round] bounds the LP probes per improvement round of the
     refined heuristics (None = paper-faithful exhaustive probing). [now]
     (default [Unix.gettimeofday]) is the clock behind [wall_time]; inject a
-    fake one for deterministic timing in tests. *)
+    fake one for deterministic timing in tests. Each method runs inside a
+    [heuristic.<name>] trace span and its wall time feeds the
+    [heuristics.method_seconds] histogram (PR 4). *)
 val run_all :
   ?now:(unit -> float) ->
   ?max_tries_per_round:int ->

@@ -48,23 +48,35 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let cached table solve p =
-  if not (enabled ()) then solve p
-  else begin
-    let key = fingerprint p in
-    match with_lock (fun () -> Hashtbl.find_opt table key) with
-    | Some sol ->
-      ignore (Atomic.fetch_and_add hits 1);
-      sol
-    | None ->
-      ignore (Atomic.fetch_and_add misses 1);
-      let sol = solve p in
-      with_lock (fun () -> Hashtbl.replace table key sol);
-      sol
-  end
+(* Per-caller hit/miss counters, registered on first use. Metrics.counter
+   memoizes by name, so the registry lookup is the only recurring cost —
+   negligible next to the fingerprint hash of the platform. *)
+let caller_counter outcome caller =
+  Metrics.counter (Printf.sprintf "lp_cache.%s.%s" outcome caller)
 
-let multicast_lb p = cached lb_table Formulations.multicast_lb p
-let multicast_ub p = cached ub_table Formulations.multicast_ub p
+let cached ~kind table solve ?(caller = "unknown") p =
+  if not (enabled ()) then solve p
+  else
+    fst
+      (Trace.with_span ~cat:"cache" ("lp_cache." ^ kind)
+         ~result:(fun (_, outcome) ->
+           [ ("caller", Trace.Str caller); ("outcome", Trace.Str outcome) ])
+         (fun () ->
+           let key = fingerprint p in
+           match with_lock (fun () -> Hashtbl.find_opt table key) with
+           | Some sol ->
+             ignore (Atomic.fetch_and_add hits 1);
+             Metrics.incr (caller_counter "hits" caller);
+             (sol, "hit")
+           | None ->
+             ignore (Atomic.fetch_and_add misses 1);
+             Metrics.incr (caller_counter "misses" caller);
+             let sol = solve p in
+             with_lock (fun () -> Hashtbl.replace table key sol);
+             (sol, "miss")))
+
+let multicast_lb ?caller p = cached ~kind:"lb" lb_table Formulations.multicast_lb ?caller p
+let multicast_ub ?caller p = cached ~kind:"ub" ub_table Formulations.multicast_ub ?caller p
 let stats () = { hits = Atomic.get hits; misses = Atomic.get misses }
 
 let reset () =

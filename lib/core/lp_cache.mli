@@ -24,14 +24,24 @@
     scenario sets in play are a few hundred entries at most. [reset] drops
     all entries and zeroes the counters. *)
 
+(** The canonical cache key of a platform (see above for what it covers).
+    Exposed for tests asserting fingerprint equality/inequality. *)
 val fingerprint : Platform.t -> string
 
-(** {!Formulations.multicast_lb} through the cache. *)
-val multicast_lb : Platform.t -> Formulations.solution option
+(** {!Formulations.multicast_lb} through the cache. [caller] (default
+    ["unknown"]) attributes the lookup in the observability layer: hits
+    and misses are counted per caller under the metric names
+    [lp_cache.hits.<caller>] / [lp_cache.misses.<caller>], and traced
+    lookups carry the caller as a span argument — so a metrics snapshot
+    shows {e who} is getting the cache value. *)
+val multicast_lb : ?caller:string -> Platform.t -> Formulations.solution option
 
-(** {!Formulations.multicast_ub} through the cache. *)
-val multicast_ub : Platform.t -> Formulations.solution option
+(** {!Formulations.multicast_ub} through the cache; [caller] as in
+    {!multicast_lb}. *)
+val multicast_ub : ?caller:string -> Platform.t -> Formulations.solution option
 
+(** Aggregate hit/miss counts since the last {!reset}, across both tables
+    and all callers (the per-caller split lives in the {!Metrics} registry). *)
 type stats = { hits : int; misses : int }
 
 val stats : unit -> stats

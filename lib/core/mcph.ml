@@ -4,10 +4,12 @@ type result = {
   throughput : Rat.t;
 }
 
+let runs = Metrics.counter "mcph.runs"
+
 (* Direct transcription of Fig. 9. The mutable residual costs c' live in a
    hash table keyed by edge; the tree is a growing set of (parent, child)
    edges rooted at the source. *)
-let run (p : Platform.t) =
+let run_impl (p : Platform.t) =
   let g = p.Platform.graph in
   let residual = Hashtbl.create 64 in
   Digraph.iter_edges (fun e -> Hashtbl.replace residual (e.Digraph.src, e.Digraph.dst) e.Digraph.cost) g;
@@ -71,3 +73,19 @@ let run (p : Platform.t) =
         grow (List.filter (fun x -> x <> t) remaining))
   in
   grow (List.filter (fun t -> not in_tree.(t)) p.Platform.targets)
+
+let run (p : Platform.t) =
+  Metrics.incr runs;
+  Trace.with_span ~cat:"heuristic" "mcph.run"
+    ~result:(fun r ->
+      ("nodes", Trace.Int (Platform.n_nodes p))
+      :: ("targets", Trace.Int (List.length p.Platform.targets))
+      ::
+      (match r with
+      | None -> [ ("outcome", Trace.Str "unreachable") ]
+      | Some r ->
+        [
+          ("period", Trace.Float (Rat.to_float r.period));
+          ("tree_edges", Trace.Int (List.length (Multicast_tree.edges r.tree)));
+        ]))
+    (fun () -> run_impl p)

@@ -16,5 +16,6 @@ type result = {
 }
 
 (** [run p] grows the multicast tree target by target. [None] when some
-    target is unreachable. *)
+    target is unreachable. Each call runs inside an [mcph.run] trace span
+    and counts under the [mcph.runs] metric (PR 4). *)
 val run : Platform.t -> result option

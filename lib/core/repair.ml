@@ -80,7 +80,16 @@ let apply_damage (p : Platform.t) damage =
       end
     end
 
+let plans = Metrics.counter "repair.plans"
+
 let plan ?(now = Unix.gettimeofday) ?before (p : Platform.t) damage =
+  Metrics.incr plans;
+  Trace.with_span ~cat:"repair" "repair.plan"
+    ~result:(function
+      | Ok r ->
+        [ ("retention", Trace.Float r.retention); ("refill_periods", Trace.Int r.refill_periods) ]
+      | Error e -> [ ("error", Trace.Str e) ])
+  @@ fun () ->
   match apply_damage p damage with
   | Error e -> Error e
   | Ok survivor ->
@@ -107,7 +116,7 @@ let plan ?(now = Unix.gettimeofday) ?before (p : Platform.t) damage =
         let lb_after =
           Option.map
             (fun (s : Formulations.solution) -> s.Formulations.throughput)
-            (Lp_cache.multicast_lb survivor)
+            (Lp_cache.multicast_lb ~caller:"repair" survivor)
         in
         Ok
           {

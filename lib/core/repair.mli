@@ -67,4 +67,6 @@ val plan :
   damage ->
   (report, string) result
 
+(** One-line report: throughput before/after, retention, LB reference,
+    re-plan time, re-fill depth, lost targets. *)
 val pp_report : Format.formatter -> report -> unit

@@ -75,6 +75,13 @@ let tree_survives tree ~source ~dead_edges ~dead_nodes ~targets =
   if not (node_dead source) then visit source;
   List.for_all (fun t -> Hashtbl.mem reached t) targets
 
+let describe_failure (p : Platform.t) = function
+  | Link (u, v) ->
+    Printf.sprintf "link %s<->%s"
+      (Digraph.label p.Platform.graph u)
+      (Digraph.label p.Platform.graph v)
+  | Node v -> Printf.sprintf "node %s" (Digraph.label p.Platform.graph v)
+
 (* The survivor of a failure depends only on the platform and the failure —
    not on the candidate schedule being scored. The planner scores many
    candidates against the same failure list, so survivors are prepared once
@@ -102,6 +109,10 @@ let score_prepared ?(with_lb = false) ?jobs (p : Platform.t) (sched : Schedule.t
       sched.Schedule.per_tree_messages
   in
   let one { pf_failure = f; pf_damage = damage; pf_survivor } =
+    Trace.with_span ~cat:"robust" "robust.scenario"
+      ~args:[ ("failure", Trace.Str (describe_failure p f)) ]
+      ~result:(fun s -> [ ("retention", Trace.Float s.sc_retention) ])
+    @@ fun () ->
     match pf_survivor with
     | Error _ -> { sc_failure = f; sc_retention = 0.0; sc_survivor_lb = None }
     | Ok survivor ->
@@ -121,7 +132,7 @@ let score_prepared ?(with_lb = false) ?jobs (p : Platform.t) (sched : Schedule.t
         if with_lb then
           Option.map
             (fun (s : Formulations.solution) -> s.Formulations.throughput)
-            (Lp_cache.multicast_lb survivor)
+            (Lp_cache.multicast_lb ~caller:"robust_plan" survivor)
         else None
       in
       { sc_failure = f; sc_retention; sc_survivor_lb }
@@ -254,8 +265,22 @@ let balanced_set trees =
   done;
   if Rat.is_zero !max_occ then None else Some (Tree_set.scale base (Rat.inv !max_occ))
 
+let plans = Metrics.counter "robust.plans"
+
 let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(seed = 0)
     ?(with_lb = false) ?jobs (p : Platform.t) =
+  Metrics.incr plans;
+  Trace.with_span ~cat:"robust" "robust.plan"
+    ~args:[ ("nodes", Trace.Int (Platform.n_nodes p)) ]
+    ~result:(function
+      | Error e -> [ ("error", Trace.Str e) ]
+      | Ok r ->
+        [
+          ("chosen", Trace.Str r.chosen.label);
+          ("scenarios", Trace.Int (List.length r.failures));
+          ("worst_case", Trace.Float r.chosen.cand_score.worst_case);
+        ])
+  @@ fun () ->
   match Mcph.run p with
   | None -> Error "robust plan: some target is unreachable"
   | Some r ->
@@ -274,6 +299,16 @@ let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(se
        below (including the with_lb rescore). *)
     let prepared = prepare ?jobs p failures in
     let mk_candidate label set =
+      Trace.with_span ~cat:"robust" "robust.candidate"
+        ~args:[ ("label", Trace.Str label) ]
+        ~result:(function
+          | None -> [ ("outcome", Trace.Str "unschedulable") ]
+          | Some c ->
+            [
+              ("nominal", Trace.Float c.cand_score.nominal);
+              ("worst_case", Trace.Float c.cand_score.worst_case);
+            ])
+      @@ fun () ->
       match Schedule.of_tree_set set with
       | exception Invalid_argument _ -> None
       | schedule -> (
@@ -428,13 +463,6 @@ let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(se
           sampled;
           loss_bound;
         })
-
-let describe_failure (p : Platform.t) = function
-  | Link (u, v) ->
-    Printf.sprintf "link %s<->%s"
-      (Digraph.label p.Platform.graph u)
-      (Digraph.label p.Platform.graph v)
-  | Node v -> Printf.sprintf "node %s" (Digraph.label p.Platform.graph v)
 
 let pp_report fmt r =
   let pr c =

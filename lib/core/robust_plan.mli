@@ -148,5 +148,11 @@ val plan :
   Platform.t ->
   (report, string) result
 
+(** [describe_failure p f] is a human-readable label using the platform's
+    node labels, e.g. ["link wan0<->wan1"] — also the [failure] span
+    argument in traces (PR 4). *)
 val describe_failure : Platform.t -> failure -> string
+
+(** Multi-line report: scenario counts, per-candidate score lines for the
+    nominal and chosen plans, critical-link count, and the Pareto front. *)
 val pp_report : Format.formatter -> report -> unit

@@ -5,6 +5,9 @@ let default_jobs () =
   | None -> 1
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
 
+let tasks_run = Metrics.counter "pool.tasks"
+let maps_run = Metrics.counter "pool.maps"
+
 (* Each worker claims tasks via [next] and writes results to distinct
    indices of [results] — disjoint writes, so no lock is needed. Workers
    never share anything else; ordering falls out of the index.
@@ -12,6 +15,7 @@ let default_jobs () =
    [oversubscribe] lifts the core-count cap (see the mli): tests use it to
    exercise the multi-domain path on any machine. *)
 let run_pool ?(oversubscribe = false) ~jobs f tasks =
+  Metrics.incr maps_run;
   let n = Array.length tasks in
   let results = Array.make n None in
   let cores = Domain.recommended_domain_count () in
@@ -23,7 +27,15 @@ let run_pool ?(oversubscribe = false) ~jobs f tasks =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let r = try Ok (f tasks.(i)) with e -> Error e in
+        Metrics.incr tasks_run;
+        let r =
+          Trace.with_span ~cat:"pool" "pool.task"
+            ~args:[ ("index", Trace.Int i); ("worker", Trace.Int w) ]
+            ~result:(function
+              | Ok _ -> [ ("outcome", Trace.Str "ok") ]
+              | Error e -> [ ("outcome", Trace.Str (Printexc.to_string e)) ])
+            (fun () -> try Ok (f tasks.(i)) with e -> Error e)
+        in
         results.(i) <- Some r;
         per_worker.(w) <- per_worker.(w) + 1;
         loop ()

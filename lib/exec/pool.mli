@@ -26,7 +26,15 @@
     whole pool {e slower}, not faster (on a single-core machine, measurably
     ~4x). [--jobs 8] on a 4-core box therefore runs 4 workers; the request
     is a ceiling, not a demand. [oversubscribe] exists for tests that must
-    exercise the multi-domain machinery regardless of the machine. *)
+    exercise the multi-domain machinery regardless of the machine.
+
+    Observability (PR 4): each executed task runs inside a [pool.task]
+    trace span carrying the task index, the worker number, and (as the
+    span's [tid]) the OCaml domain that ran it — a [--trace] of a
+    [--jobs N] run therefore shows the pool's parallel utilization
+    directly. Task and map totals accumulate under the [pool.tasks] and
+    [pool.maps] metrics. Tracing observes, never steers: the determinism
+    contract above holds with tracing on or off. *)
 
 type stats = {
   jobs : int;  (** worker count actually used *)

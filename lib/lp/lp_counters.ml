@@ -1,3 +1,12 @@
+(* Since PR 4 these are a typed view over the Metrics registry: the same
+   tallies show up in Metrics snapshots (CLI --metrics, BENCH_4.json)
+   under the lp.* names, while existing callers keep this record API. *)
+
+let float_solves = Metrics.counter "lp.solves.float"
+let exact_solves = Metrics.counter "lp.solves.exact"
+let float_pivots = Metrics.counter "lp.pivots.float"
+let exact_pivots_c = Metrics.counter "lp.pivots.exact"
+
 type snapshot = {
   float_solves : int;
   exact_solves : int;
@@ -5,30 +14,24 @@ type snapshot = {
   exact_pivots : int;
 }
 
-let float_solves = Atomic.make 0
-let exact_solves = Atomic.make 0
-let pivots = Atomic.make 0
-let exact_pivots = Atomic.make 0
-
-let add counter n = if n <> 0 then ignore (Atomic.fetch_and_add counter n)
-let record_float_solve () = add float_solves 1
-let record_exact_solve () = add exact_solves 1
-let record_pivots n = add pivots n
-let record_exact_pivots n = add exact_pivots n
+let record_float_solve () = Metrics.incr float_solves
+let record_exact_solve () = Metrics.incr exact_solves
+let record_pivots n = Metrics.add float_pivots n
+let record_exact_pivots n = Metrics.add exact_pivots_c n
 
 let snapshot () =
   {
-    float_solves = Atomic.get float_solves;
-    exact_solves = Atomic.get exact_solves;
-    pivots = Atomic.get pivots;
-    exact_pivots = Atomic.get exact_pivots;
+    float_solves = Metrics.counter_value float_solves;
+    exact_solves = Metrics.counter_value exact_solves;
+    pivots = Metrics.counter_value float_pivots;
+    exact_pivots = Metrics.counter_value exact_pivots_c;
   }
 
 let reset () =
-  Atomic.set float_solves 0;
-  Atomic.set exact_solves 0;
-  Atomic.set pivots 0;
-  Atomic.set exact_pivots 0
+  Metrics.set_counter float_solves 0;
+  Metrics.set_counter exact_solves 0;
+  Metrics.set_counter float_pivots 0;
+  Metrics.set_counter exact_pivots_c 0
 
 let since before =
   let now = snapshot () in

@@ -1,8 +1,12 @@
 (** Process-wide LP telemetry counters.
 
     Monotonic tallies of solver activity — how many times each engine ran and
-    how many pivots it spent — maintained with [Atomic] so that concurrent
-    solves on separate domains count correctly. These are {e telemetry only}:
+    how many pivots it spent — maintained atomically so that concurrent
+    solves on separate domains count correctly. Since PR 4 the storage is
+    the {!Metrics} registry (names [lp.solves.float], [lp.solves.exact],
+    [lp.pivots.float], [lp.pivots.exact]), so the same tallies appear in
+    every metrics snapshot; this module remains the typed, record-shaped
+    view the solvers and benches use. These are {e telemetry only}:
     per-solve counts live in the solution records ({!Simplex.solution.pivots},
     {!Simplex_exact.solution.pivots}); nothing in the solvers reads these
     counters back, so they cannot affect results.
@@ -21,8 +25,11 @@ type snapshot = {
 (** Incremented by the solver engines; exposed for engines only. *)
 
 val record_float_solve : unit -> unit
+
 val record_exact_solve : unit -> unit
+
 val record_pivots : int -> unit
+
 val record_exact_pivots : int -> unit
 
 (** Current totals (atomic reads; consistent enough for reporting). *)

@@ -35,13 +35,31 @@ let finite_solution (s : Simplex.solution) =
   Float.is_finite s.Simplex.objective
   && Array.for_all Float.is_finite s.Simplex.values
 
+let fallbacks = Metrics.counter "solver_chain.fallbacks"
+
+(* Span args are built in the ?result closure, so a disabled trace pays
+   only the closure allocation — the per-solve span is the finest-grained
+   one in the codebase and sits under every LP caller. *)
+let span_args model status =
+  let size = [ ("vars", Trace.Int (Lp_model.n_vars model)); ("rows", Trace.Int (Lp_model.n_constraints model)) ] in
+  match status with
+  | Optimal (sol, engine) ->
+    ("engine", Trace.Str (match engine with `Float -> "float" | `Exact -> "exact"))
+    :: ("pivots", Trace.Int sol.Simplex.pivots)
+    :: ("objective", Trace.Float sol.Simplex.objective)
+    :: size
+  | Infeasible -> ("outcome", Trace.Str "infeasible") :: size
+  | Unbounded -> ("outcome", Trace.Str "unbounded") :: size
+
 let solve_with_fallback ?max_iter model =
-  match Simplex.solve ?max_iter model with
-  | Simplex.Optimal sol when finite_solution sol -> Optimal (sol, `Float)
-  | Simplex.Infeasible -> Infeasible
-  | Simplex.Unbounded -> Unbounded
-  | Simplex.Stalled | Simplex.Optimal _ ->
-    if debug then
-      Printf.eprintf "[solver-chain] float engine failed (%d vars, %d rows); exact retry\n%!"
-        (Lp_model.n_vars model) (Lp_model.n_constraints model);
-    solve_exact model
+  Trace.with_span ~cat:"lp" "lp.solve" ~result:(span_args model) (fun () ->
+      match Simplex.solve ?max_iter model with
+      | Simplex.Optimal sol when finite_solution sol -> Optimal (sol, `Float)
+      | Simplex.Infeasible -> Infeasible
+      | Simplex.Unbounded -> Unbounded
+      | Simplex.Stalled | Simplex.Optimal _ ->
+        if debug then
+          Printf.eprintf "[solver-chain] float engine failed (%d vars, %d rows); exact retry\n%!"
+          (Lp_model.n_vars model) (Lp_model.n_constraints model);
+        Metrics.incr fallbacks;
+        solve_exact model)

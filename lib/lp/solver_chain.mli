@@ -10,7 +10,14 @@
     The exact engine produces no dual values; a fallback solution carries
     [row_duals = [||]] and is tagged [`Exact] so that column- and
     cut-generation loops know to accept the current master optimum instead of
-    pricing further. *)
+    pricing further.
+
+    Observability (PR 4): every [solve_with_fallback] call runs inside an
+    [lp.solve] trace span tagged with the model size, the engine that won
+    ([float]/[exact]) and the final status; fallbacks to the exact engine
+    count under the [solver_chain.fallbacks] metric. Per-engine solve and
+    pivot totals live in {!Lp_counters} (a typed view over the metrics
+    registry). *)
 
 type status =
   | Optimal of Simplex.solution * [ `Float | `Exact ]

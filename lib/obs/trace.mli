@@ -1,0 +1,101 @@
+(** Structured tracing with Chrome-trace export (PR 4 observability layer).
+
+    A {e span} is a named, timed interval of work — an LP solve, an MCPH
+    candidate search, a pool task, a schedule replay. Spans are recorded
+    into a fixed-capacity in-memory ring buffer and exported in the Chrome
+    trace-event JSON format, viewable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. Each span carries the id of the
+    OCaml domain that ran it, so a trace of a [--jobs N] run shows the
+    parallel utilization of the {!Pool} directly.
+
+    {b Cost model.} Tracing is compiled in but {e disabled} by default:
+    {!with_span} then performs a single atomic load and tail-calls the
+    wrapped function — nothing is allocated and nothing is recorded, so
+    instrumented hot paths (the LP solver, the scenario engine) cost
+    nothing measurable (see EXPERIMENTS.md, tracing-overhead note). Span
+    argument lists passed via [?result] are closures evaluated {e only}
+    when tracing is enabled; prefer them over eager [?args] on hot paths.
+
+    {b Determinism.} Recording observes timestamps but never feeds anything
+    back into the computation, so enabling tracing cannot change results:
+    the [--jobs 1] vs [--jobs N] bit-identity guarantee of the planner
+    (see {!Pool}) holds with tracing on or off.
+
+    {b Domain safety.} The ring buffer is mutex-protected; spans may be
+    recorded concurrently from any number of domains. The clock is read
+    outside the lock, so the critical section is a few stores.
+
+    {b Clock injection.} Like the [?now] pattern used by
+    {!Repair.plan} and {!Recovery_loop.run}, the clock is injected at
+    {!enable} time (default [Unix.gettimeofday]); tests pass a fake clock
+    to make span timestamps and durations deterministic. *)
+
+(** A span or instant argument value, rendered into the JSON [args]
+    object of the event. *)
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+(** One recorded event. Timestamps are in seconds relative to the moment
+    tracing was {!enable}d; durations are in seconds. *)
+type event = {
+  ev_name : string;
+  ev_cat : string;  (** Chrome-trace category, used for filtering *)
+  ev_ts : float;  (** start time, seconds since {!enable} *)
+  ev_dur : float option;  (** [Some d] for spans, [None] for instants *)
+  ev_tid : int;  (** OCaml domain id that recorded the event *)
+  ev_args : (string * arg) list;
+}
+
+(** [enable ?clock ?capacity ()] turns recording on with a fresh, empty
+    ring buffer. [clock] (default [Unix.gettimeofday], seconds) is read
+    twice per span; [capacity] (default [65536]) bounds the buffer — once
+    full, the oldest events are overwritten and {!dropped} counts the
+    overflow. Calling [enable] while already enabled restarts with an
+    empty buffer. *)
+val enable : ?clock:(unit -> float) -> ?capacity:int -> unit -> unit
+
+(** Stop recording and drop the buffer. Spans already in flight complete
+    without recording. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** [with_span ?cat ?args ?result name f] runs [f ()] inside a span named
+    [name]. When tracing is disabled this {e is} [f ()] (one atomic load of
+    overhead). When enabled, the span records start/duration, the current
+    domain id, [args], and — on normal return [v] — [result v] appended to
+    the arguments ([result] lets callers attach values only known after
+    the work, e.g. pivot counts of a solve, without paying for them when
+    disabled). If [f] raises, the span is still recorded with a
+    [("raised", Str exn)] argument and the exception is re-raised. *)
+val with_span :
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  ?result:('a -> (string * arg) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+(** [instant ?cat ?args name] records a zero-duration marker event (e.g.
+    recovery-controller state transitions). No-op when disabled. *)
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+(** Recorded events, oldest first. Empty when disabled. *)
+val events : unit -> event list
+
+(** Events overwritten because the ring buffer was full. *)
+val dropped : unit -> int
+
+(** The whole buffer as a Chrome trace-event JSON document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one ["X"]
+    (complete) event per span and one ["i"] (instant) event per marker;
+    [ts]/[dur] are microseconds as the format requires. The output is
+    valid JSON (strings escaped, non-finite floats quoted) and loads in
+    [chrome://tracing] and Perfetto. *)
+val to_chrome_json : unit -> string
+
+(** [export path] writes {!to_chrome_json} to [path]. *)
+val export : string -> unit

@@ -57,8 +57,22 @@ let floor_int q =
   let quot, _ = Zint.ediv_rem (Rat.num q) (Rat.den q) in
   Option.value ~default:max_int (Zint.to_int quot)
 
+let replays = Metrics.counter "sim.replays"
+let faulty_replays = Metrics.counter "sim.faulty_replays"
+
 let run (sched : Schedule.t) ~periods =
   if periods < 1 then invalid_arg "Event_sim.run: need at least one period";
+  Metrics.incr replays;
+  Trace.with_span ~cat:"sim" "sim.replay"
+    ~args:[ ("periods", Trace.Int periods) ]
+    ~result:(function
+      | Error e -> [ ("error", Trace.Str e) ]
+      | Ok s ->
+        [
+          ("delivered", Trace.Int s.messages_delivered);
+          ("throughput", Trace.Float s.measured_throughput);
+        ])
+  @@ fun () ->
   let trees = sched.Schedule.trees in
   let platform = trees.(0).Multicast_tree.platform in
   let g = platform.Platform.graph in
@@ -308,6 +322,15 @@ type fault_stats = {
    cascade down the tree. *)
 let run_with_faults (sched : Schedule.t) ~faults ~periods =
   if periods < 1 then invalid_arg "Event_sim.run_with_faults: need at least one period";
+  Metrics.incr faulty_replays;
+  Trace.with_span ~cat:"sim" "sim.replay_faulty"
+    ~args:[ ("periods", Trace.Int periods) ]
+    ~result:(fun s ->
+      [
+        ("delivered", Trace.Int s.f_delivered);
+        ("losses", Trace.Int (List.length s.f_losses));
+      ])
+  @@ fun () ->
   let trees = sched.Schedule.trees in
   let platform = trees.(0).Multicast_tree.platform in
   let g = platform.Platform.graph in

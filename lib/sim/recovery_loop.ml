@@ -49,9 +49,37 @@ let fault_time = function
 
 let rec int_pow b = function 0 -> 1 | n -> b * int_pow b (n - 1)
 
+let event_name = function
+  | Failure_observed _ -> "failure-observed"
+  | Replan_attempt _ -> "replan-attempt"
+  | Replan_failed _ -> "replan-failed"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Fallback_to_checkpoint _ -> "fallback-to-checkpoint"
+  | Backoff _ -> "backoff"
+  | Degraded _ -> "degraded"
+  | Recovered _ -> "recovered"
+  | Gave_up _ -> "gave-up"
+
+let runs = Metrics.counter "recovery.runs"
+let replan_attempts = Metrics.counter "recovery.replan_attempts"
+
 let run ?(now = Unix.gettimeofday) ?policy
     ?(planner : planner = fun ?before p d -> Repair.plan ?before p d)
     (p : Platform.t) (sched : Schedule.t) (scenario : Fault.scenario) =
+  Metrics.incr runs;
+  Trace.with_span ~cat:"recovery" "recovery.run"
+    ~result:(fun o ->
+      [
+        ("attempts", Trace.Int o.attempts_used);
+        ( "final",
+          Trace.Str
+            (match o.final with
+            | `No_failure -> "no-failure"
+            | `Recovered _ -> "recovered"
+            | `Degraded _ -> "degraded"
+            | `Fallback _ -> "fallback") );
+      ])
+  @@ fun () ->
   let pol = match policy with Some pol -> pol | None -> default_policy p in
   let horizon = max pol.horizon_periods (Schedule.init_periods sched + 3) in
   let fs = Event_sim.run_with_faults sched ~faults:scenario ~periods:horizon in
@@ -59,7 +87,10 @@ let run ?(now = Unix.gettimeofday) ?policy
     { events = []; final = `No_failure; attempts_used = 0; sim_time = Rat.zero }
   else begin
     let events = ref [] in
-    let emit e = events := e :: !events in
+    let emit e =
+      Trace.instant ~cat:"recovery" ("recovery." ^ event_name e);
+      events := e :: !events
+    in
     let t_fail =
       match scenario with
       | [] -> Rat.zero
@@ -80,10 +111,18 @@ let run ?(now = Unix.gettimeofday) ?policy
        independent Schedule.check on whatever the planner returned. *)
     let attempt plat =
       incr attempts;
+      Metrics.incr replan_attempts;
       let n = !attempts in
       emit (Replan_attempt { n; at = !clock });
       let t0 = now () in
-      let result = planner ~before:sched plat damage in
+      let result =
+        Trace.with_span ~cat:"recovery" "recovery.replan"
+          ~args:[ ("attempt", Trace.Int n) ]
+          ~result:(function
+            | Ok _ -> [ ("outcome", Trace.Str "ok") ]
+            | Error e -> [ ("outcome", Trace.Str e) ])
+          (fun () -> planner ~before:sched plat damage)
+      in
       let dt = now () -. t0 in
       if dt > pol.replan_deadline then begin
         emit (Deadline_exceeded { n; seconds = dt; deadline = pol.replan_deadline });
@@ -175,17 +214,6 @@ let run ?(now = Unix.gettimeofday) ?policy
       end
       else degrade [] surviving full_err
   end
-
-let event_name = function
-  | Failure_observed _ -> "failure-observed"
-  | Replan_attempt _ -> "replan-attempt"
-  | Replan_failed _ -> "replan-failed"
-  | Deadline_exceeded _ -> "deadline-exceeded"
-  | Fallback_to_checkpoint _ -> "fallback-to-checkpoint"
-  | Backoff _ -> "backoff"
-  | Degraded _ -> "degraded"
-  | Recovered _ -> "recovered"
-  | Gave_up _ -> "gave-up"
 
 let pp_event fmt = function
   | Failure_observed e ->

@@ -89,6 +89,10 @@ val run :
   Fault.scenario ->
   outcome
 
+(** Stable kebab-case name of an event's constructor, e.g.
+    ["replan-attempt"] — used by tests asserting on event sequences and as
+    the suffix of the controller's [recovery.*] trace instants (PR 4). *)
 val event_name : event -> string
+
 val pp_event : Format.formatter -> event -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -18,5 +18,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("robust", Test_robust.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
       ("prefix", Test_prefix.suite);
     ]
