@@ -3,6 +3,12 @@
 
    Usage: dune exec bench/main.exe -- [--only fig11a,fig5] [--trials N]
             [--big-trials N] [--fast] [--out-dir DIR]
+            [--check-against FILE] [--check-tolerance F] [--check-time-tolerance F]
+
+   --check-against gates the run's final metrics snapshot against a
+   committed baseline (bench/baseline.json in CI): counter growth past the
+   tolerance, a fallen LP-cache hit rate or a vanished metric fails the
+   process with exit code 1 (exit 2 = unreadable baseline). See Regress.
 
    Absolute numbers differ from the paper (their testbed and LP solver, our
    simulator); each section prints the paper's qualitative claim next to
@@ -15,6 +21,9 @@ let only : string list ref = ref []
 let fast = ref false
 let jobs = ref (Pool.default_jobs ())
 let trace_out : string option ref = ref None
+let check_against : string option ref = ref None
+let check_tolerance = ref 0.25
+let check_time_tolerance : float option ref = ref None
 
 let parse_args () =
   let rec go = function
@@ -41,6 +50,15 @@ let parse_args () =
       go rest
     | "--trace" :: f :: rest ->
       trace_out := Some f;
+      go rest
+    | "--check-against" :: f :: rest ->
+      check_against := Some f;
+      go rest
+    | "--check-tolerance" :: x :: rest ->
+      check_tolerance := float_of_string x;
+      go rest
+    | "--check-time-tolerance" :: x :: rest ->
+      check_time_tolerance := Some (float_of_string x);
       go rest
     | other :: _ -> failwith ("unknown argument: " ^ other)
   in
@@ -220,8 +238,9 @@ let ensure_out_dir () =
   try Unix.mkdir !out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 (* Single point of truth for the machine-readable summary names: BENCH_2
-   (robustness tables), BENCH_3 (parallel engine), BENCH_4 (metrics
-   registry). CI archives bench_out/BENCH_*.json. *)
+   (robustness tables), BENCH_3 (parallel engine), BENCH_5 (metrics
+   registry, the regression-gate baseline format). CI archives
+   bench_out/BENCH_*.json. *)
 let bench_json_file n = Filename.concat !out_dir (Printf.sprintf "BENCH_%d.json" n)
 
 (* Gnuplot-ready data files: one row per density, one column per method —
@@ -864,6 +883,46 @@ let pseries () =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
   Printf.printf "parallel-engine summary: %s\n" fname
 
+(* ------------------------------------------------------------------ *)
+(* H1 — heuristic portfolio timing. Exists so the whole-run metrics      *)
+(* snapshot (BENCH_5.json) exercises the heuristics.method_seconds       *)
+(* histogram: the other fast sections never call Heuristics.run_all, so  *)
+(* without this leg the histogram sat at count 0 and the regression gate *)
+(* had nothing to hold on to.                                            *)
+
+let hseries () =
+  banner "H1 / heuristic portfolio timing — heuristics.method_seconds";
+  let runs = if !fast then 1 else 2 in
+  let n_methods = List.length Heuristics.method_names in
+  let before = Metrics.snapshot () in
+  Printf.printf "%6s %16s %12s %9s\n" "seed" "best method" "period" "total(s)";
+  for seed = 1 to runs do
+    let rng = Random.State.make [| seed; 1789 |] in
+    let p = Tiers.generate rng Tiers.small_params ~n_targets:6 in
+    let report = Heuristics.run_all ~max_tries_per_round:3 p in
+    let entries = report.Heuristics.entries in
+    let best =
+      List.fold_left
+        (fun (b : Heuristics.entry) (e : Heuristics.entry) ->
+          if e.Heuristics.period < b.Heuristics.period then e else b)
+        (List.hd entries) entries
+    in
+    let total =
+      List.fold_left (fun a (e : Heuristics.entry) -> a +. e.Heuristics.wall_time) 0.0 entries
+    in
+    Printf.printf "%6d %16s %12.4f %9.2f\n" seed best.Heuristics.name best.Heuristics.period
+      total
+  done;
+  let d = Metrics.delta ~before (Metrics.snapshot ()) in
+  match Metrics.find d "heuristics.method_seconds" with
+  | Some (Metrics.Histogram h) ->
+    Printf.printf "heuristics.method_seconds: count %d, sum %.3fs, min %.4fs, max %.4fs\n"
+      h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_min h.Metrics.h_max;
+    Printf.printf "shape check: one observation per method per run (%d = %d x %d) — %s\n"
+      h.Metrics.h_count runs n_methods
+      (if h.Metrics.h_count = runs * n_methods then "OK" else "MISMATCH")
+  | _ -> Printf.printf "shape check: heuristics.method_seconds registered — MISMATCH\n"
+
 (* Hand-rolled JSON (no external deps): per-kind R1 retention means and the
    R2 robust-vs-nominal deltas, for CI artifacts and regression diffing. *)
 let write_bench_json () =
@@ -909,12 +968,14 @@ let write_bench_json () =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
   Printf.printf "robustness summary: %s\n" fname
 
-(* BENCH_4.json: the metrics-registry snapshot accumulated over the whole
+(* BENCH_5.json: the metrics-registry snapshot accumulated over the whole
    bench run — LP solve/pivot totals, per-caller cache hits, pool task
-   counts, heuristic timings (PR 4 observability layer). *)
+   counts and utilization, heuristic timings. This file is both a CI
+   artifact and the regression-gate baseline format: committing a copy as
+   bench/baseline.json is what --check-against compares future runs to. *)
 let write_metrics_json () =
   ensure_out_dir ();
-  let fname = bench_json_file 4 in
+  let fname = bench_json_file 5 in
   let oc = open_out fname in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -941,6 +1002,7 @@ let () =
   if want "resilience" then resilience ();
   if want "robust" then robust ();
   if want "pseries" then pseries ();
+  if want "hseries" then hseries ();
   if want "prefix" then prefix ();
   if !r1_table <> [] || !r2_table <> [] then write_bench_json ();
   write_metrics_json ();
@@ -950,6 +1012,29 @@ let () =
     let n = List.length (Trace.events ()) and d = Trace.dropped () in
     Trace.export path;
     Trace.disable ();
-    Printf.printf "trace: wrote %d events to %s%s\n" n path
-      (if d > 0 then Printf.sprintf " (%d dropped: ring full)" d else ""));
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "trace: wrote %d events to %s (%d dropped%s)\n" n path d
+      (if d > 0 then ": ring full, trace is partial" else ""));
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  (* Regression gate: compare the whole run's metrics against a committed
+     baseline. Runs last so a failing gate still leaves every artifact on
+     disk for diagnosis. *)
+  match !check_against with
+  | None -> ()
+  | Some baseline -> (
+    banner "regression gate";
+    match Regress.load baseline with
+    | Error e ->
+      Printf.printf "regression gate: cannot load baseline %s: %s\n" baseline e;
+      exit 2
+    | Ok before ->
+      let rules =
+        Regress.default_rules ~tolerance:!check_tolerance
+          ?time_tolerance:!check_time_tolerance ()
+      in
+      let current = Regress.flatten_snapshot (Metrics.snapshot ()) in
+      let report = Regress.compare_snapshots ~rules ~before current in
+      print_string (Regress.to_text report);
+      Printf.printf
+        "baseline: %s (refresh: rerun the same sections and copy %s over it)\n" baseline
+        (bench_json_file 5);
+      if not (Regress.passed report) then exit 1)

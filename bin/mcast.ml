@@ -11,6 +11,7 @@
      resilience          failure injection, schedule repair, retention report
                          (--online drives the recovery-loop controller)
      robust              proactive robust planning: worst-case retention report
+     profile             run a workload under tracing, print a self-time profile
      prefix              Theorem 5 parallel-prefix gadget walk-through
      gadget              set-cover gadget and the Theorem 1 correspondence *)
 
@@ -67,8 +68,8 @@ let with_observability ~trace ~metrics f =
         let n = List.length (Trace.events ()) and d = Trace.dropped () in
         Trace.export path;
         Trace.disable ();
-        Printf.printf "trace: wrote %d events to %s%s\n" n path
-          (if d > 0 then Printf.sprintf " (%d dropped: ring full)" d else ""));
+        Printf.printf "trace: wrote %d events to %s (%d dropped%s)\n" n path d
+          (if d > 0 then ": ring full, trace is partial" else ""));
       match before with
       | None -> ()
       | Some before ->
@@ -529,6 +530,253 @@ let robust_cmd =
       const robust $ platform_arg $ kind $ seed_arg $ n_targets $ loss_bound
       $ max_scenarios $ with_lb $ jobs_arg $ trace_arg $ metrics_arg)
 
+(* --- profile --- *)
+
+(* Run one of the existing workloads under tracing and distill the span
+   buffer into a profile. The workload bodies are one-line condensations of
+   the robust / resilience / heuristics subcommands: the product here is
+   the profile (self-time table, LP attribution, pool utilization), not the
+   planning report. *)
+
+let profile_workloads = [ "robust"; "resilience"; "heuristics" ]
+
+let run_profile_workload ~workload ~seed ~loss_bound ~max_scenarios ~with_lb ~jobs
+    ~periods ~tries p =
+  match workload with
+  | "robust" -> (
+    match Robust_plan.plan ~loss_bound ~max_scenarios ~seed ~with_lb ~jobs p with
+    | Error e -> failwith e
+    | Ok r ->
+      let c = r.Robust_plan.chosen in
+      Printf.printf
+        "workload robust: chose %s (worst-case retention %.1f%%, nominal %.6f)\n"
+        c.Robust_plan.label
+        (100. *. c.Robust_plan.cand_score.Robust_plan.worst_case)
+        c.Robust_plan.cand_score.Robust_plan.nominal)
+  | "resilience" -> (
+    match Mcph.run p with
+    | None -> failwith "some target is unreachable"
+    | Some r -> (
+      let sched =
+        Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ])
+      in
+      let periods = max periods (Schedule.init_periods sched + 3) in
+      let rng = Random.State.make [| seed; 9011 |] in
+      let scenario =
+        Fault.random_mixed_kills rng p ~link_rate:0.1 ~node_rate:0.05
+          ~at:(Rat.mul (Rat.of_int 2) sched.Schedule.period)
+      in
+      let fs = Event_sim.run_with_faults sched ~faults:scenario ~periods in
+      Printf.printf "workload resilience: %d deliveries lost, %d made under %s\n"
+        (List.length fs.Event_sim.f_losses)
+        fs.Event_sim.f_delivered (Fault.describe scenario);
+      match Repair.plan ~before:sched p (Fault.damage scenario) with
+      | Ok rep ->
+        Printf.printf "workload resilience: repair retention %.3f\n" rep.Repair.retention
+      | Error e -> Printf.printf "workload resilience: unrecoverable (%s)\n" e))
+  | "heuristics" ->
+    let report = Heuristics.run_all ?max_tries_per_round:tries p in
+    let best =
+      List.fold_left
+        (fun acc (e : Heuristics.entry) ->
+          match acc with
+          | Some (b : Heuristics.entry) when b.Heuristics.period <= e.Heuristics.period ->
+            acc
+          | _ -> Some e)
+        None report.Heuristics.entries
+    in
+    (match best with
+    | None -> ()
+    | Some e ->
+      Printf.printf "workload heuristics: %d methods, best %s (period %.4f)\n"
+        (List.length report.Heuristics.entries)
+        e.Heuristics.name e.Heuristics.period)
+  | other ->
+    failwith
+      (Printf.sprintf "unknown workload %s (expected one of: %s)" other
+         (String.concat ", " profile_workloads))
+
+(* LP-solve attribution from the metrics delta: solves/pivots by kind, the
+   per-caller cache traffic (the dynamic lp_cache.{hits,misses}.<caller>
+   counters) and the pool summary. *)
+let print_lp_attribution (delta : Metrics.snapshot) =
+  let c name =
+    match Metrics.find delta name with Some (Metrics.Counter n) -> n | _ -> 0
+  in
+  Printf.printf "lp attribution:\n";
+  Printf.printf
+    "  solves %d float + %d exact; pivots %d float + %d exact; fallbacks %d; LB cut \
+     rounds %d\n"
+    (c "lp.solves.float") (c "lp.solves.exact") (c "lp.pivots.float")
+    (c "lp.pivots.exact")
+    (c "solver_chain.fallbacks")
+    (c "formulations.lb_cut_rounds");
+  let callers = Hashtbl.create 8 in
+  let note prefix is_hits =
+    let pl = String.length prefix in
+    List.iter
+      (fun (name, v) ->
+        if String.length name > pl && String.sub name 0 pl = prefix then
+          match v with
+          | Metrics.Counter n ->
+            let caller = String.sub name pl (String.length name - pl) in
+            let h, m = Option.value ~default:(0, 0) (Hashtbl.find_opt callers caller) in
+            Hashtbl.replace callers caller (if is_hits then (h + n, m) else (h, m + n))
+          | _ -> ())
+      delta
+  in
+  note "lp_cache.hits." true;
+  note "lp_cache.misses." false;
+  let rows = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) callers []) in
+  if rows = [] then Printf.printf "  lp cache: no lookups recorded\n"
+  else
+    List.iter
+      (fun (caller, (h, m)) ->
+        let total = h + m in
+        Printf.printf "  lp cache [%s]: %d hits / %d misses (%.1f%% hit rate)\n" caller h
+          m
+          (if total = 0 then 0.0 else 100. *. float_of_int h /. float_of_int total))
+      rows;
+  let maps = c "pool.maps" and tasks = c "pool.tasks" in
+  let util =
+    match Metrics.find delta "pool.utilization" with
+    | Some (Metrics.Gauge g) -> g
+    | _ -> 0.0
+  in
+  match Metrics.find delta "pool.task_seconds" with
+  | Some (Metrics.Histogram h) when h.Metrics.h_count > 0 ->
+    Printf.printf
+      "  pool: %d map(s), %d task(s), task time %.3fs total (max %.3fs); last map \
+       utilization %.0f%%\n"
+      maps tasks h.Metrics.h_sum h.Metrics.h_max (100. *. util)
+  | _ -> if maps > 0 then Printf.printf "  pool: %d map(s), %d task(s)\n" maps tasks
+
+let profile file kind seed n_targets workload loss_bound max_scenarios with_lb periods
+    tries jobs top folded_out json_out trace_out =
+  let p =
+    match file with
+    | Some _ -> read_platform file
+    | None ->
+      let rng = Random.State.make [| seed |] in
+      platform_of_kind rng kind ~n_targets
+  in
+  Printf.printf "%s\n" (Platform.describe p);
+  Printf.printf "profiling workload %s (jobs %d)...\n%!" workload jobs;
+  let before = Metrics.snapshot () in
+  Trace.enable ~capacity:(1 lsl 18) ();
+  (try
+     run_profile_workload ~workload ~seed ~loss_bound ~max_scenarios ~with_lb ~jobs
+       ~periods ~tries p
+   with e ->
+     Trace.disable ();
+     raise e);
+  let events = Trace.events () in
+  let dropped = Trace.dropped () in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Trace.export path;
+    Printf.printf "trace: wrote %d events to %s (%d dropped%s)\n" (List.length events)
+      path dropped
+      (if dropped > 0 then ": ring full, trace is partial" else ""));
+  Trace.disable ();
+  let delta = Metrics.delta ~before (Metrics.snapshot ()) in
+  let prof = Trace_stats.of_events ~dropped events in
+  print_newline ();
+  print_string (Trace_stats.to_text ~top prof);
+  print_lp_attribution delta;
+  (match folded_out with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> output_string oc (Folded.of_events events));
+    Printf.printf "folded stacks: wrote %s\n" path);
+  match json_out with
+  | None -> ()
+  | Some path ->
+    (* Reindent an embedded JSON document so the wrapper stays readable;
+       the first line keeps the wrapper's own indentation. *)
+    let indent s =
+      match String.split_on_char '\n' (String.trim s) with
+      | [] -> s
+      | first :: rest ->
+        String.concat "\n"
+          (first :: List.map (fun l -> if l = "" then l else "  " ^ l) rest)
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf (Printf.sprintf "  \"workload\": %S,\n" workload);
+    Buffer.add_string buf (Printf.sprintf "  \"platform\": %S,\n" (Platform.describe p));
+    Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+    Buffer.add_string buf ("  \"metrics\": " ^ indent (Metrics.to_json delta) ^ ",\n");
+    Buffer.add_string buf ("  \"profile\": " ^ indent (Trace_stats.to_json prof) ^ "\n");
+    Buffer.add_string buf "}\n";
+    Out_channel.with_open_text path (fun oc -> Buffer.output_buffer oc buf);
+    Printf.printf "profile json: wrote %s\n" path
+
+let profile_cmd =
+  let kind =
+    let doc = "Platform kind when no file is given (see $(b,generate))." in
+    Arg.(value & opt string "tiers-small" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_targets =
+    let doc = "Number of multicast targets for generated platforms." in
+    Arg.(value & opt int 6 & info [ "targets" ] ~docv:"N" ~doc)
+  in
+  let workload =
+    let doc =
+      "Workload to run under tracing: $(b,robust) (proactive robust planning), \
+       $(b,resilience) (fault injection + repair) or $(b,heuristics) (the paper's \
+       method portfolio)."
+    in
+    Arg.(value & opt string "robust" & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let loss_bound =
+    let doc = "Robust-planning loss bound (workload robust)." in
+    Arg.(value & opt float 0.25 & info [ "loss-bound" ] ~docv:"F" ~doc)
+  in
+  let max_scenarios =
+    let doc = "Scenario cap for robust planning (workload robust)." in
+    Arg.(value & opt int 48 & info [ "max-scenarios" ] ~docv:"N" ~doc)
+  in
+  let with_lb =
+    let doc = "Solve the survivor Multicast-LB per scenario (workload robust)." in
+    Arg.(value & opt bool true & info [ "with-lb" ] ~docv:"BOOL" ~doc)
+  in
+  let periods =
+    Arg.(
+      value & opt int 12
+      & info [ "periods" ] ~docv:"N" ~doc:"Simulation periods (workload resilience).")
+  in
+  let tries =
+    let doc = "Cap LP probes per improvement round (workload heuristics)." in
+    Arg.(value & opt (some int) (Some 3) & info [ "tries" ] ~docv:"K" ~doc)
+  in
+  let top =
+    let doc = "Rows of the self-time table." in
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let folded_out =
+    let doc =
+      "Write flamegraph folded stacks to $(docv) (feed to flamegraph.pl or \
+       speedscope)."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+  in
+  let json_out =
+    let doc =
+      "Write the profile and the metrics delta as JSON to $(docv) (consumable by \
+       $(b,bench --check-against))."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a workload under tracing and print a self-time profile")
+    Term.(
+      const profile $ platform_arg $ kind $ seed_arg $ n_targets $ workload $ loss_bound
+      $ max_scenarios $ with_lb $ periods $ tries $ jobs_arg $ top $ folded_out
+      $ json_out $ trace_arg)
+
 (* --- prefix --- *)
 
 let prefix_cmd_run seed universe n_sets bound =
@@ -600,6 +848,7 @@ let main_cmd =
       scatter_schedule_cmd;
       resilience_cmd;
       robust_cmd;
+      profile_cmd;
       prefix_cmd;
       gadget_cmd;
     ]

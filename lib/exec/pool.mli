@@ -33,8 +33,13 @@
     span's [tid]) the OCaml domain that ran it — a [--trace] of a
     [--jobs N] run therefore shows the pool's parallel utilization
     directly. Task and map totals accumulate under the [pool.tasks] and
-    [pool.maps] metrics. Tracing observes, never steers: the determinism
-    contract above holds with tracing on or off. *)
+    [pool.maps] metrics. Since PR 5 every task's wall time is also
+    observed into the [pool.task_seconds] histogram (per-task skew) and
+    each map sets the [pool.utilization] gauge to its busy fraction
+    ([busy_seconds / (jobs * wall_seconds)]), so scheduling imbalance is
+    visible from a [--metrics] snapshot without recording a trace.
+    Tracing observes, never steers: the determinism contract above holds
+    with tracing on or off. *)
 
 type stats = {
   jobs : int;  (** worker count actually used *)
@@ -42,6 +47,10 @@ type stats = {
   per_worker : int array;
       (** tasks executed by each worker, length [jobs]; worker 0 is the
           calling domain. Utilization = how evenly these balance. *)
+  wall_seconds : float;  (** wall-clock of the whole map *)
+  busy_seconds : float;
+      (** summed task wall times across workers; utilization =
+          [busy_seconds / (jobs * wall_seconds)] *)
 }
 
 (** Default worker count: the [MCAST_JOBS] environment variable if set to a

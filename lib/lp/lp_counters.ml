@@ -1,5 +1,5 @@
 (* Since PR 4 these are a typed view over the Metrics registry: the same
-   tallies show up in Metrics snapshots (CLI --metrics, BENCH_4.json)
+   tallies show up in Metrics snapshots (CLI --metrics, BENCH_5.json)
    under the lp.* names, while existing callers keep this record API. *)
 
 let float_solves = Metrics.counter "lp.solves.float"

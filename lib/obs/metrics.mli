@@ -7,7 +7,7 @@
     updates it from any domain. A {!snapshot} captures every registered
     metric at once; {!delta} subtracts two snapshots for window accounting
     (the pattern behind the CLI's [--metrics] flag and the bench harness's
-    [BENCH_4.json]); {!to_text} and {!to_json} render snapshots for humans
+    [BENCH_5.json]); {!to_text} and {!to_json} render snapshots for humans
     and machines respectively.
 
     {b Naming.} Dotted lower-case paths, coarse-to-fine:

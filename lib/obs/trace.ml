@@ -165,13 +165,27 @@ let json_event buf ev =
 
 let to_chrome_json () =
   let evs = events () in
+  let d = dropped () in
+  (* Drop accounting travels inside the artifact: a trailing instant makes
+     a truncated ring visible from the JSON alone, without the process
+     that recorded it. *)
+  let summary =
+    {
+      ev_name = "trace.dropped";
+      ev_cat = "trace";
+      ev_ts = (match List.rev evs with [] -> 0.0 | last :: _ -> last.ev_ts);
+      ev_dur = None;
+      ev_tid = tid ();
+      ev_args = [ ("dropped", Int d); ("recorded", Int (List.length evs)) ];
+    }
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   List.iteri
     (fun i ev ->
       if i > 0 then Buffer.add_char buf ',';
       json_event buf ev)
-    evs;
+    (evs @ [ summary ]);
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 

@@ -94,7 +94,11 @@ val dropped : unit -> int
     (complete) event per span and one ["i"] (instant) event per marker;
     [ts]/[dur] are microseconds as the format requires. The output is
     valid JSON (strings escaped, non-finite floats quoted) and loads in
-    [chrome://tracing] and Perfetto. *)
+    [chrome://tracing] and Perfetto. The document always ends with a
+    [trace.dropped] instant (category ["trace"]) carrying [dropped] and
+    [recorded] counts, so a truncated ring is visible from the artifact
+    alone — a trace with [dropped > 0] is a partial record and profiles
+    computed from it undercount. *)
 val to_chrome_json : unit -> string
 
 (** [export path] writes {!to_chrome_json} to [path]. *)

@@ -19,5 +19,6 @@ let () =
       ("robust", Test_robust.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       ("prefix", Test_prefix.suite);
     ]

@@ -248,7 +248,21 @@ let test_chrome_json_well_formed () =
     | Some (JList evs) -> evs
     | _ -> Alcotest.fail "missing traceEvents array"
   in
-  Alcotest.(check int) "both events exported" 2 (List.length events);
+  (* two recorded events + the trailing trace.dropped accounting instant *)
+  Alcotest.(check int) "both events + drop accounting exported" 3 (List.length events);
+  (match List.rev events with
+  | summary :: _ ->
+    Alcotest.(check bool) "last event is trace.dropped" true
+      (obj_field "name" summary = Some (JStr "trace.dropped"));
+    (match obj_field "args" summary with
+    | Some args ->
+      Alcotest.(check bool) "dropped count present" true
+        (obj_field "dropped" args = Some (JNum 0.0));
+      Alcotest.(check bool) "recorded count present" true
+        (obj_field "recorded" args = Some (JNum 2.0))
+    | None -> Alcotest.fail "trace.dropped missing args")
+  | [] -> Alcotest.fail "no events");
+  let events = List.filteri (fun i _ -> i < 2) events in
   Alcotest.(check bool) "displayTimeUnit present" true
     (obj_field "displayTimeUnit" doc = Some (JStr "ms"));
   List.iter
@@ -368,6 +382,33 @@ let test_metrics_renderers () =
   | Some (JNum v) -> Alcotest.(check (float 0.0)) "json value" 12.0 v
   | _ -> Alcotest.fail "counter missing from JSON rendering"
 
+(* Full to_json round-trip through the parser above: escaped names,
+   non-finite floats (quoted, keeping the document valid) and histogram
+   objects all survive. *)
+let test_metrics_json_round_trip () =
+  let name = {|test_obs.esc "q" \ name|} in
+  let c = Metrics.counter name in
+  Metrics.set_counter c 3;
+  let g = Metrics.gauge "test_obs.nonfinite" in
+  Metrics.set_gauge g Float.infinity;
+  let h = Metrics.histogram "test_obs.rt_histo" in
+  Metrics.observe h 1.5;
+  Metrics.observe h 2.5;
+  let doc = parse_json (Metrics.to_json (Metrics.snapshot ())) in
+  (match obj_field name doc with
+  | Some (JNum v) -> Alcotest.(check (float 0.0)) "escaped name round-trips" 3.0 v
+  | _ -> Alcotest.fail "escaped counter name missing after round-trip");
+  (match obj_field "test_obs.nonfinite" doc with
+  | Some (JStr s) -> Alcotest.(check string) "non-finite gauge quoted" "inf" s
+  | _ -> Alcotest.fail "non-finite gauge not rendered as a quoted string");
+  match obj_field "test_obs.rt_histo" doc with
+  | Some (JObj _ as hj) ->
+    Alcotest.(check bool) "histo count" true (obj_field "count" hj = Some (JNum 2.0));
+    Alcotest.(check bool) "histo sum" true (obj_field "sum" hj = Some (JNum 4.0));
+    Alcotest.(check bool) "histo min" true (obj_field "min" hj = Some (JNum 1.5));
+    Alcotest.(check bool) "histo max" true (obj_field "max" hj = Some (JNum 2.5))
+  | _ -> Alcotest.fail "histogram not rendered as an object"
+
 let suite =
   [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
@@ -379,4 +420,5 @@ let suite =
     Alcotest.test_case "metrics registry basics" `Quick test_metrics_registry;
     Alcotest.test_case "metrics delta under concurrency" `Quick test_metrics_delta_concurrent;
     Alcotest.test_case "metrics renderers" `Quick test_metrics_renderers;
+    Alcotest.test_case "metrics JSON round-trip" `Quick test_metrics_json_round_trip;
   ]
