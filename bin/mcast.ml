@@ -313,7 +313,7 @@ let scatter_schedule_cmd =
 (* --- resilience --- *)
 
 let resilience file kind seed n_targets kill_edges kill_nodes degrades at periods online
-    max_attempts drop_order jobs trace metrics =
+    max_attempts drop_order storm storm_k incremental jobs trace metrics =
   with_observability ~trace ~metrics @@ fun () ->
   let p =
     match file with
@@ -337,8 +337,20 @@ let resilience file kind seed n_targets kill_edges kill_nodes degrades at period
           | exception _ -> failwith ("bad degrade factor: " ^ f))
         degrades
   in
+  let scenario =
+    match storm with
+    | None -> scenario
+    | Some s ->
+      let rng = Random.State.make [| seed; 6007 |] in
+      scenario
+      @ (match s with
+        | "burst" -> Fault.random_burst rng p ~k:storm_k ~window:Rat.one ~at
+        | "endpoint" -> Fault.shared_endpoint_kills rng p ~endpoints:storm_k ~at
+        | "subtree" -> Fault.subtree_outage rng p ~at
+        | other -> failwith ("unknown --storm kind: " ^ other))
+  in
   if scenario = [] then
-    failwith "no fault events: pass --kill-edge, --kill-node or --degrade";
+    failwith "no fault events: pass --kill-edge, --kill-node, --degrade or --storm";
   (match Fault.validate p scenario with Ok () -> () | Error e -> failwith e);
   Printf.printf "%s\n" (Platform.describe p);
   Printf.printf "scenario: %s\n" (Fault.describe scenario);
@@ -387,12 +399,19 @@ let resilience file kind seed n_targets kill_edges kill_nodes degrades at period
           drop_order = (if drop_order = [] then d.Recovery_loop.drop_order else drop_order);
         }
       in
-      let o = Recovery_loop.run ~policy p sched scenario in
-      Format.printf "%a@." Recovery_loop.pp_outcome o;
-      print_perf_counters ()
+      match Recovery_loop.run ~policy p sched scenario with
+      | Error e -> failwith ("recovery policy rejected: " ^ e)
+      | Ok o -> (
+        Format.printf "%a@." Recovery_loop.pp_outcome o;
+        print_perf_counters ();
+        (* Unrecovered runs exit nonzero so CI and scripts can detect them. *)
+        match o.Recovery_loop.final with `Fallback _ -> exit 1 | _ -> ())
     end
     else
-    match Repair.plan ~before:sched p (Fault.damage scenario) with
+    match
+      if incremental then Repair.plan_incremental ~before:sched p (Fault.damage scenario)
+      else Repair.plan ~before:sched p (Fault.damage scenario)
+    with
     | Error e -> failwith ("repair failed: " ^ e)
     | Ok rep ->
       (match Schedule.check rep.Repair.schedule with
@@ -455,17 +474,53 @@ let resilience_cmd =
     in
     Arg.(value & opt (list int) [] & info [ "drop-order" ] ~docv:"V1,V2,..." ~doc)
   in
+  let storm =
+    let doc =
+      "Add a seeded correlated failure storm to the scenario: $(b,burst) (k kills \
+       inside a one-unit window), $(b,endpoint) (every link of k shared endpoints), \
+       or $(b,subtree) (a MAN router and all its LAN hosts)."
+    in
+    Arg.(value & opt (some string) None & info [ "storm" ] ~docv:"KIND" ~doc)
+  in
+  let storm_k =
+    let doc = "Burst size / endpoint count for --storm." in
+    Arg.(value & opt int 3 & info [ "storm-k" ] ~docv:"K" ~doc)
+  in
+  let incremental =
+    let doc =
+      "Use the O(damage) incremental repair (patch the running schedule, full re-plan \
+       fallback) instead of the full re-plan for the single-shot repair."
+    in
+    Arg.(value & flag & info [ "incremental" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "resilience"
        ~doc:"Inject failures into a replay, re-plan on the survivors, report retention")
     Term.(
       const resilience $ platform_arg $ kind $ seed_arg $ n_targets $ kill_edge $ kill_node
-      $ degrade $ at $ periods $ online $ max_attempts $ drop_order $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      $ degrade $ at $ periods $ online $ max_attempts $ drop_order $ storm $ storm_k
+      $ incremental $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- robust --- *)
 
-let robust file kind seed n_targets loss_bound max_scenarios with_lb jobs trace metrics =
+(* Seeded correlated storms in the robust planner's vocabulary: cycle
+   through the three generator families so a small count already mixes
+   bursts, shared endpoints and subtree outages. *)
+let storm_failures p ~seed ~storms =
+  List.init storms (fun i ->
+      let rng = Random.State.make [| seed; 6007; i |] in
+      let name, scenario =
+        match i mod 3 with
+        | 0 -> ("burst", Fault.random_burst rng p ~k:3 ~window:Rat.one ~at:Rat.zero)
+        | 1 -> ("endpoint", Fault.shared_endpoint_kills rng p ~endpoints:2 ~at:Rat.zero)
+        | _ -> ("subtree", Fault.subtree_outage rng p ~at:Rat.zero)
+      in
+      Robust_plan.Correlated
+        (Printf.sprintf "%s-storm %d: %s" name i (Fault.describe scenario),
+         Fault.damage scenario))
+
+let robust file kind seed n_targets loss_bound max_scenarios with_lb storms jobs trace
+    metrics =
   with_observability ~trace ~metrics @@ fun () ->
   let p =
     match file with
@@ -475,7 +530,8 @@ let robust file kind seed n_targets loss_bound max_scenarios with_lb jobs trace 
       platform_of_kind rng kind ~n_targets
   in
   Printf.printf "%s\n" (Platform.describe p);
-  match Robust_plan.plan ~loss_bound ~max_scenarios ~seed ~with_lb ~jobs p with
+  let extra_failures = storm_failures p ~seed ~storms in
+  match Robust_plan.plan ~loss_bound ~max_scenarios ~seed ~with_lb ~extra_failures ~jobs p with
   | Error e -> failwith e
   | Ok r ->
     Format.printf "%a@." Robust_plan.pp_report r;
@@ -523,12 +579,19 @@ let robust_cmd =
     let doc = "Also solve the Multicast-LB on every survivor (per-scenario reference)." in
     Arg.(value & flag & info [ "with-lb" ] ~doc)
   in
+  let storms =
+    let doc =
+      "Additionally score $(docv) seeded correlated storms (bursts, shared-endpoint \
+       outages, subtree outages) alongside the single-failure scenarios."
+    in
+    Arg.(value & opt int 0 & info [ "storms" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "robust"
        ~doc:"Proactive robust planning: maximize worst-case single-failure retention")
     Term.(
       const robust $ platform_arg $ kind $ seed_arg $ n_targets $ loss_bound
-      $ max_scenarios $ with_lb $ jobs_arg $ trace_arg $ metrics_arg)
+      $ max_scenarios $ with_lb $ storms $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- profile --- *)
 

@@ -6,10 +6,13 @@ type damage = {
 
 let no_damage = { dead_edges = []; dead_nodes = []; degraded = [] }
 
+type repair_method = [ `Full_replan | `Patched | `Fell_back of string ]
+
 type report = {
   survivor : Platform.t;
   schedule : Schedule.t;
   baseline : [ `Given | `Fresh_mcph ];
+  repair_method : repair_method;
   throughput_before : float;
   throughput_after : float;
   retention : float;
@@ -123,6 +126,7 @@ let plan ?(now = Unix.gettimeofday) ?before (p : Platform.t) damage =
             survivor;
             schedule;
             baseline;
+            repair_method = `Full_replan;
             throughput_before;
             throughput_after;
             retention = throughput_after /. throughput_before;
@@ -134,13 +138,252 @@ let plan ?(now = Unix.gettimeofday) ?before (p : Platform.t) damage =
           }
     end
 
+(* --- incremental repair ------------------------------------------------- *)
+
+let patched_plans = Metrics.counter "repair.patched"
+let fallback_plans = Metrics.counter "repair.fallback"
+
+exception Patch_failed of string
+
+let patch_failed fmt = Printf.ksprintf (fun m -> raise (Patch_failed m)) fmt
+
+(* Patch one tree of the running set onto the survivor platform. The
+   surviving fraction of the tree is kept verbatim; every orphaned fragment
+   (a maximal subtree cut off by the damage) is re-attached through the
+   cheapest bottleneck path under MCPH's re-metric: committed tree edges are
+   free and the remaining out-edges of a sending node carry its committed
+   load, so attachments prefer lightly-loaded relays (Fig. 9 lines 11-13,
+   replayed over the surviving edges instead of grown from scratch). Cost is
+   one bottleneck search per fragment — O(damage), not O(targets). *)
+let patch_tree ~(survivor : Platform.t) (tree : Multicast_tree.t) =
+  let g = survivor.Platform.graph in
+  let n = Platform.n_nodes survivor in
+  let source = survivor.Platform.source in
+  let alive v = Platform.is_active survivor v in
+  let edge_alive (u, v) = alive u && alive v && Digraph.mem_edge g ~src:u ~dst:v in
+  let orig_edges = Multicast_tree.edges tree in
+  let was_tree_node = Array.make n false in
+  if source < n then was_tree_node.(source) <- true;
+  List.iter (fun (_, v) -> if v < n then was_tree_node.(v) <- true) orig_edges;
+  let surviving = List.filter edge_alive orig_edges in
+  let children = Array.make n [] in
+  List.iter (fun (u, v) -> children.(u) <- v :: children.(u)) surviving;
+  Array.iteri (fun u cs -> children.(u) <- List.sort compare cs) children;
+  let residual = Hashtbl.create 64 in
+  Digraph.iter_edges
+    (fun e -> Hashtbl.replace residual (e.Digraph.src, e.Digraph.dst) e.Digraph.cost)
+    g;
+  (* Fig. 9 lines 11-13: the committed edge becomes free; the sender's other
+     out-edges inherit its cost. *)
+  let commit_edge (u, v) =
+    let committed = Hashtbl.find residual (u, v) in
+    if not (Rat.is_zero committed) then begin
+      List.iter
+        (fun (e : Digraph.edge) ->
+          if e.Digraph.dst <> v then
+            Hashtbl.replace residual
+              (u, e.Digraph.dst)
+              (Rat.add (Hashtbl.find residual (u, e.Digraph.dst)) committed))
+        (Digraph.out_edges g u);
+      Hashtbl.replace residual (u, v) Rat.zero
+    end
+  in
+  let in_tree = Array.make n false in
+  let tree_edges = ref [] in
+  (* Absorb the surviving subtree hanging below [root]: keep its edges,
+     commit them into the re-metric. *)
+  let absorb root =
+    in_tree.(root) <- true;
+    let q = Queue.create () in
+    Queue.add root q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if not in_tree.(v) then begin
+            in_tree.(v) <- true;
+            tree_edges := (u, v) :: !tree_edges;
+            commit_edge (u, v);
+            Queue.add v q
+          end)
+        children.(u)
+    done
+  in
+  absorb source;
+  (* Fragment roots: former tree nodes that lost their parent link and are
+     not reachable from the source along surviving edges. Nodes whose parent
+     link survived belong to their parent's fragment. *)
+  let parent = Hashtbl.create 16 in
+  List.iter (fun (u, v) -> Hashtbl.replace parent v u) orig_edges;
+  let fragment_roots =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (_, v) ->
+           if (not (alive v)) || in_tree.(v) then None
+           else
+             match Hashtbl.find_opt parent v with
+             | Some u when edge_alive (u, v) -> None
+             | _ -> Some v)
+         orig_edges)
+  in
+  (* Members of the fragment below [r] (surviving edges only). *)
+  let fragment_members r =
+    let seen = Hashtbl.create 8 in
+    let rec go v =
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        List.iter go children.(v)
+      end
+    in
+    go r;
+    seen
+  in
+  let is_target v = List.mem v survivor.Platform.targets in
+  let needed =
+    List.filter
+      (fun r -> Hashtbl.fold (fun v () acc -> acc || is_target v) (fragment_members r) false)
+      fragment_roots
+  in
+  let attach r =
+    if not in_tree.(r) then begin
+      (* The search may relay through alive non-tree nodes but never through
+         another orphaned fragment (that would give its nodes two parents);
+         [r] itself is the only orphan admitted. *)
+      let keep v = in_tree.(v) || v = r || (alive v && not was_tree_node.(v)) in
+      let search_g = Digraph.restrict g ~keep in
+      let sources = List.filter (fun v -> in_tree.(v)) (List.init n Fun.id) in
+      let res =
+        Paths.minimax search_g
+          ~cost:(fun e -> Hashtbl.find residual (e.Digraph.src, e.Digraph.dst))
+          ~sources
+      in
+      match Paths.extract_path res r with
+      | None -> patch_failed "orphaned subtree at node %d cannot be re-attached" r
+      | Some path ->
+        let pe = Paths.path_edges path in
+        List.iter
+          (fun (u, v) ->
+            if not in_tree.(v) then begin
+              in_tree.(v) <- true;
+              tree_edges := (u, v) :: !tree_edges
+            end)
+          pe;
+        List.iter commit_edge pe;
+        absorb r
+    end
+  in
+  List.iter attach needed;
+  match Multicast_tree.of_edges survivor (List.rev !tree_edges) with
+  | Error e -> patch_failed "patched tree is invalid: %s" e
+  | Ok t -> Multicast_tree.prune t
+
+(* Patch every tree of the running schedule, keeping the schedule's relative
+   weights, then rescale the whole set so the worst port occupation is
+   exactly one (as in the balanced sets of the robust planner) — no LP. *)
+let patch_tree_set ~survivor (before : Schedule.t) =
+  let period = before.Schedule.period in
+  let pairs =
+    Array.to_list
+      (Array.mapi
+         (fun k tree ->
+           let w = Rat.div (Rat.of_int before.Schedule.per_tree_messages.(k)) period in
+           if Rat.(w <= zero) then
+             patch_failed "tree %d of the running schedule carries no messages" k
+           else (patch_tree ~survivor tree, w))
+         before.Schedule.trees)
+  in
+  let base = Tree_set.make pairs in
+  let max_occ = ref Rat.zero in
+  for v = 0 to Platform.n_nodes survivor - 1 do
+    max_occ := Rat.max !max_occ (Tree_set.send_occupation base v);
+    max_occ := Rat.max !max_occ (Tree_set.recv_occupation base v)
+  done;
+  if Rat.is_zero !max_occ then patch_failed "patched tree set has no load"
+  else Tree_set.scale base (Rat.inv !max_occ)
+
+let plan_incremental ?(now = Unix.gettimeofday) ?(retention_floor = 0.0)
+    ?(fallback = true) ~before (p : Platform.t) damage =
+  Trace.with_span ~cat:"repair" "repair.plan_incremental"
+    ~result:(function
+      | Ok r ->
+        [
+          ( "method",
+            Trace.Str
+              (match r.repair_method with
+              | `Patched -> "patched"
+              | `Fell_back _ -> "fell-back"
+              | `Full_replan -> "full-replan") );
+          ("retention", Trace.Float r.retention);
+        ]
+      | Error e -> [ ("error", Trace.Str e) ])
+  @@ fun () ->
+  let fall reason =
+    if not fallback then Error reason
+    else
+      match plan ~now ~before p damage with
+      | Error e -> Error e
+      | Ok r ->
+        Metrics.incr fallback_plans;
+        Ok { r with repair_method = `Fell_back reason }
+  in
+  match apply_damage p damage with
+  | Error e -> Error e
+  | Ok survivor ->
+    if not (Platform.is_feasible survivor) then
+      Error "unrecoverable: a surviving target is unreachable from the source"
+    else begin
+      let throughput_before = Rat.to_float before.Schedule.throughput in
+      let t0 = now () in
+      match
+        let set = patch_tree_set ~survivor before in
+        let schedule = Schedule.of_tree_set set in
+        (schedule, Schedule.check schedule)
+      with
+      | exception Patch_failed m -> fall m
+      | exception Invalid_argument m -> fall ("patched tree set does not schedule: " ^ m)
+      | _, Error e -> fall ("patched schedule fails check: " ^ e)
+      | schedule, Ok () ->
+        let replan_seconds = now () -. t0 in
+        let throughput_after = Rat.to_float schedule.Schedule.throughput in
+        let retention = throughput_after /. throughput_before in
+        if retention < retention_floor -. 1e-12 then
+          fall
+            (Printf.sprintf "patched retention %.1f%% below the %.1f%% floor"
+               (100. *. retention) (100. *. retention_floor))
+        else begin
+          Metrics.incr patched_plans;
+          Ok
+            {
+              survivor;
+              schedule;
+              baseline = `Given;
+              repair_method = `Patched;
+              throughput_before;
+              throughput_after;
+              retention;
+              lb_after = None;
+              replan_seconds;
+              refill_periods = Schedule.init_periods schedule;
+              lost_targets =
+                List.filter (fun t -> List.mem t damage.dead_nodes) p.Platform.targets;
+            }
+        end
+    end
+
 let pp_report fmt r =
   Format.fprintf fmt
-    "repair: throughput %.6f -> %.6f (retention %.1f%% vs %s baseline), LB after %s, \
+    "repair (%s): throughput %.6f -> %.6f (retention %.1f%% vs %s baseline), LB after %s, \
      re-plan %.3fs, re-fill %d periods%s"
+    (match r.repair_method with
+    | `Full_replan -> "full re-plan"
+    | `Patched -> "patched"
+    | `Fell_back m -> "fell back: " ^ m)
     r.throughput_before r.throughput_after (100. *. r.retention)
     (match r.baseline with `Given -> "given" | `Fresh_mcph -> "fresh-MCPH")
-    (match r.lb_after with None -> "infeasible" | Some b -> Printf.sprintf "%.6f" b)
+    (match (r.lb_after, r.repair_method) with
+    | None, `Patched -> "skipped"
+    | None, _ -> "infeasible"
+    | Some b, _ -> Printf.sprintf "%.6f" b)
     r.replan_seconds r.refill_periods
     (match r.lost_targets with
     | [] -> ""

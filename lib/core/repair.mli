@@ -30,6 +30,13 @@ val no_damage : damage
     target, damaging edges the platform does not have, or factors [< 1]. *)
 val apply_damage : Platform.t -> damage -> (Platform.t, string) result
 
+type repair_method =
+  [ `Full_replan  (** {!plan}: MCPH re-run on the whole survivor *)
+  | `Patched  (** {!plan_incremental}: only the severed subtrees were re-attached *)
+  | `Fell_back of string
+    (** {!plan_incremental} abandoned the patch for the stated reason and the
+        report comes from a full re-plan *) ]
+
 type report = {
   survivor : Platform.t;
   schedule : Schedule.t;  (** passes {!Schedule.check}; simulator-verified upstream *)
@@ -40,6 +47,7 @@ type report = {
           {e undamaged} platform. The two baselines can differ: a caller may
           have been running a schedule better (or worse) than MCPH, so
           retention numbers are only comparable within one baseline kind. *)
+  repair_method : repair_method;  (** how this schedule was produced *)
   throughput_before : float;
       (** steady-state throughput of the pre-failure schedule *)
   throughput_after : float;
@@ -67,6 +75,36 @@ val plan :
   damage ->
   (report, string) result
 
-(** One-line report: throughput before/after, retention, LB reference,
-    re-plan time, re-fill depth, lost targets. *)
+(** [plan_incremental ~before p damage] repairs the {e running} schedule in
+    time proportional to the damage instead of the platform. The surviving
+    part of every tree of [before] is retained verbatim; each subtree the
+    damage severed is re-attached through one bottleneck-path search under
+    MCPH's residual re-metric (committed edges free, senders' other
+    out-edges carrying their committed load — Fig. 9 lines 11-13 replayed
+    over the survivors); fragments serving only dead targets are dropped.
+    The patched set keeps the schedule's relative tree weights, rescaled so
+    the worst port occupation is exactly one — no LP solve, so [lb_after] is
+    [None] and [replan_seconds] covers patching plus schedule construction,
+    the same span {!plan}'s timer covers (MCPH plus schedule construction).
+
+    The result is tagged [`Patched] on success. When the patch cannot be
+    built, fails {!Schedule.check}, or retains less than [retention_floor]
+    (a fraction of [before]'s throughput, default [0.0]), the planner falls
+    back to a full {!plan} and tags the report [`Fell_back reason] — unless
+    [fallback] is [false], in which case the reason is returned as [Error]
+    so callers (the recovery loop's escalation ladder) can schedule the full
+    re-plan themselves. Errors that make the damage unrecoverable
+    (source/all-targets dead, unreachable survivor) are [Error]s regardless
+    of [fallback], exactly as in {!plan}. *)
+val plan_incremental :
+  ?now:(unit -> float) ->
+  ?retention_floor:float ->
+  ?fallback:bool ->
+  before:Schedule.t ->
+  Platform.t ->
+  damage ->
+  (report, string) result
+
+(** One-line report: repair method, throughput before/after, retention, LB
+    reference, re-plan time, re-fill depth, lost targets. *)
 val pp_report : Format.formatter -> report -> unit

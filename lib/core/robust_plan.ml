@@ -1,6 +1,7 @@
 type failure =
   | Link of int * int
   | Node of int
+  | Correlated of string * Repair.damage
 
 let canonical_link u v = if u <= v then (u, v) else (v, u)
 
@@ -36,6 +37,7 @@ let damage_of_failure (p : Platform.t) = function
     in
     { Repair.no_damage with Repair.dead_edges = dirs }
   | Node v -> { Repair.no_damage with Repair.dead_nodes = [ v ] }
+  | Correlated (_, damage) -> damage
 
 type scenario_score = {
   sc_failure : failure;
@@ -81,6 +83,7 @@ let describe_failure (p : Platform.t) = function
       (Digraph.label p.Platform.graph u)
       (Digraph.label p.Platform.graph v)
   | Node v -> Printf.sprintf "node %s" (Digraph.label p.Platform.graph v)
+  | Correlated (label, _) -> Printf.sprintf "correlated %s" label
 
 (* The survivor of a failure depends only on the platform and the failure —
    not on the candidate schedule being scored. The planner scores many
@@ -268,7 +271,7 @@ let balanced_set trees =
 let plans = Metrics.counter "robust.plans"
 
 let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(seed = 0)
-    ?(with_lb = false) ?jobs (p : Platform.t) =
+    ?(with_lb = false) ?(extra_failures = []) ?jobs (p : Platform.t) =
   Metrics.incr plans;
   Trace.with_span ~cat:"robust" "robust.plan"
     ~args:[ ("nodes", Trace.Int (Platform.n_nodes p)) ]
@@ -286,14 +289,19 @@ let plan ?(loss_bound = 0.1) ?(penalties = [ 4; 16 ]) ?(max_scenarios = 64) ?(se
   | Some r ->
     let t0 = r.Mcph.tree in
     let all_failures = single_failures p in
-    let total_failures = List.length all_failures in
-    let sampled = total_failures > max_scenarios in
+    let total_singles = List.length all_failures in
+    let total_failures = total_singles + List.length extra_failures in
+    let sampled = total_singles > max_scenarios in
+    (* The sampling cap applies to the enumerated single failures only: the
+       caller's correlated storms are few and explicitly chosen, so they are
+       always scored. *)
     let failures =
-      if sampled then
-        Generators.sample_without_replacement
-          (Random.State.make [| seed; 7919 |])
-          max_scenarios all_failures
-      else all_failures
+      (if sampled then
+         Generators.sample_without_replacement
+           (Random.State.make [| seed; 7919 |])
+           max_scenarios all_failures
+       else all_failures)
+      @ extra_failures
     in
     (* One prepared survivor list shared by every candidate scoring pass
        below (including the with_lb rescore). *)

@@ -23,11 +23,18 @@
     — it bounds what any planner could retain on that survivor, so the gap
     [lb - retained] is the price of not re-planning. *)
 
-(** A single-failure scenario: one physical link (both directions when the
-    platform has them) or one non-source processor. *)
+(** A failure scenario: one physical link (both directions when the
+    platform has them), one non-source processor, or a caller-supplied
+    {e correlated} outage — the end-state damage of a whole failure storm
+    (burst, shared endpoint, subtree — see the generators in [Fault]),
+    labeled for reports. *)
 type failure =
   | Link of int * int  (** undirected: kills [u->v] and [v->u] when present *)
   | Node of int
+  | Correlated of string * Repair.damage
+      (** a named multi-entity outage, scored exactly like the single
+          failures: a tree survives iff its surviving edges reach every
+          surviving target *)
 
 (** [single_failures p] enumerates every single-failure scenario of [p]:
     one per undirected link, one per active non-source node (excluding a
@@ -134,16 +141,20 @@ type report = {
     portfolio. Scenario sets larger than [max_scenarios] (default [64]) are
     sampled with the seeded rng and reported as such ([sampled]).
     [with_lb] re-scores the nominal and chosen candidates with per-scenario
-    Multicast-LB references. [jobs] (default {!Pool.default_jobs}) runs the
-    perturbation searches and scenario scoring on a domain pool; reports are
-    bit-identical across job counts. Errors when MCPH itself fails (some
-    target unreachable). *)
+    Multicast-LB references. [extra_failures] (default none) appends
+    caller-supplied scenarios — typically {!failure.Correlated} storms — to
+    the evaluated set; they are never sampled away ([total_failures] counts
+    them, the cap applies to the enumeration only). [jobs] (default
+    {!Pool.default_jobs}) runs the perturbation searches and scenario
+    scoring on a domain pool; reports are bit-identical across job counts.
+    Errors when MCPH itself fails (some target unreachable). *)
 val plan :
   ?loss_bound:float ->
   ?penalties:int list ->
   ?max_scenarios:int ->
   ?seed:int ->
   ?with_lb:bool ->
+  ?extra_failures:failure list ->
   ?jobs:int ->
   Platform.t ->
   (report, string) result

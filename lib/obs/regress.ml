@@ -11,6 +11,9 @@ let default_rules ?(tolerance = 0.25) ?time_tolerance () =
     { r_prefix = "solver_chain.fallbacks"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "heuristics.method_seconds.sum"; r_dir = Not_above; r_tol = tt };
     { r_prefix = "pool.task_seconds.sum"; r_dir = Not_above; r_tol = tt };
+    { r_prefix = "recovery.replan_seconds.sum"; r_dir = Not_above; r_tol = tt };
+    { r_prefix = "repair.patched"; r_dir = Not_below; r_tol = tolerance };
+    { r_prefix = "repair.fallback"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "derived.lp_cache.hit_rate"; r_dir = Not_below; r_tol = tolerance };
   ]
 

@@ -42,13 +42,17 @@ type direction =
 type rule = { r_prefix : string; r_dir : direction; r_tol : float }
 
 (** The standard gate: [lp.pivots*], [lp.solves*],
-    [formulations.lb_cut_rounds.sum] and [solver_chain.fallbacks] must
-    not grow more than [tolerance] (default [0.25]);
-    [heuristics.method_seconds.sum] and [pool.task_seconds.sum] must not
-    grow more than [time_tolerance] (default [max 1.0 (4 * tolerance)] —
-    wall time is machine-dependent, so the time gate only catches
-    blowups); [derived.lp_cache.hit_rate] must not fall more than
-    [tolerance]. *)
+    [formulations.lb_cut_rounds.sum], [solver_chain.fallbacks] and
+    [repair.fallback] (incremental patches escalating to full re-plans)
+    must not grow more than [tolerance] (default [0.25]);
+    [heuristics.method_seconds.sum], [pool.task_seconds.sum] and
+    [recovery.replan_seconds.sum] must not grow more than
+    [time_tolerance] (default [max 1.0 (4 * tolerance)] — wall time is
+    machine-dependent, so the time gate only catches blowups);
+    [derived.lp_cache.hit_rate] must not fall more than [tolerance], and
+    neither may [repair.patched] (a collapsed patch count means the
+    incremental planner stopped patching and every repair pays the full
+    re-plan price). *)
 val default_rules : ?tolerance:float -> ?time_tolerance:float -> unit -> rule list
 
 type status =

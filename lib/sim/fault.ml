@@ -132,6 +132,123 @@ let random_node_kills rng (p : Platform.t) ~rate ~at =
 let random_mixed_kills rng p ~link_rate ~node_rate ~at =
   random_link_kills rng p ~rate:link_rate ~at @ random_node_kills rng p ~rate:node_rate ~at
 
+(* --- correlated storm generators ---------------------------------------- *)
+
+(* A fire time uniformly drawn (on a 1/1000 grid, so times stay small exact
+   rationals) inside [at, at + window]. *)
+let storm_time rng ~at ~window =
+  if Rat.is_zero window then at
+  else Rat.add at (Rat.mul window (Rat.of_ints (Random.State.int rng 1001) 1000))
+
+let undirected_links (p : Platform.t) =
+  let seen = Hashtbl.create 64 in
+  List.rev
+    (Digraph.fold_edges
+       (fun acc e ->
+         let key =
+           (min e.Digraph.src e.Digraph.dst, max e.Digraph.src e.Digraph.dst)
+         in
+         if Hashtbl.mem seen key then acc
+         else begin
+           Hashtbl.replace seen key ();
+           key :: acc
+         end)
+       [] p.Platform.graph)
+
+let kill_link (p : Platform.t) (u, v) ~at =
+  let g = p.Platform.graph in
+  List.filter_map
+    (fun (a, b) ->
+      if Digraph.mem_edge g ~src:a ~dst:b then Some (Kill_edge { src = a; dst = b; at })
+      else None)
+    [ (u, v); (v, u) ]
+
+(* Never kill every target (same rule as {!random_node_kills}): when the
+   draw is total, a uniformly drawn target is spared. *)
+let spare_a_target rng (p : Platform.t) killed_nodes =
+  if List.exists (fun t -> not (List.mem t killed_nodes)) p.Platform.targets then
+    killed_nodes
+  else
+    let spare =
+      List.nth p.Platform.targets
+        (Random.State.int rng (List.length p.Platform.targets))
+    in
+    List.filter (fun v -> v <> spare) killed_nodes
+
+let random_burst rng (p : Platform.t) ~k ~window ~at =
+  let links = List.map (fun l -> `Link l) (undirected_links p) in
+  let nodes =
+    List.filter_map
+      (fun v -> if v = p.Platform.source then None else Some (`Node v))
+      (Platform.active_nodes p)
+  in
+  let pool = links @ nodes in
+  let chosen =
+    Generators.sample_without_replacement rng (min k (List.length pool)) pool
+  in
+  let killed_nodes = List.filter_map (function `Node v -> Some v | _ -> None) chosen in
+  let spared = spare_a_target rng p killed_nodes in
+  let chosen =
+    List.filter (function `Node v -> List.mem v spared | `Link _ -> true) chosen
+  in
+  List.concat_map
+    (fun ent ->
+      let t = storm_time rng ~at ~window in
+      match ent with
+      | `Node v -> [ Kill_node { node = v; at = t } ]
+      | `Link l -> kill_link p l ~at:t)
+    chosen
+
+let shared_endpoint_kills rng (p : Platform.t) ~endpoints ~at =
+  let candidates =
+    List.filter (fun v -> v <> p.Platform.source) (Platform.active_nodes p)
+  in
+  let picked =
+    Generators.sample_without_replacement rng
+      (min endpoints (List.length candidates))
+      candidates
+  in
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun v ->
+      List.concat_map
+        (fun (u, w) ->
+          let key = (min u w, max u w) in
+          if Hashtbl.mem seen key then []
+          else begin
+            Hashtbl.replace seen key ();
+            kill_link p key ~at
+          end)
+        (List.map (fun u -> (u, v)) (Digraph.preds p.Platform.graph v)
+        @ List.map (fun w -> (v, w)) (Digraph.succs p.Platform.graph v)))
+    picked
+
+let subtree_outage rng (p : Platform.t) ~at =
+  let routers =
+    List.filter
+      (fun v -> v <> p.Platform.source && p.Platform.kinds.(v) = Platform.Man)
+      (Platform.active_nodes p)
+  in
+  match routers with
+  | [] -> (
+    (* Not a Tiers platform (or no MAN layer left): degenerate to one
+       correlated endpoint outage so callers always get a scenario. *)
+    match shared_endpoint_kills rng p ~endpoints:1 ~at with
+    | [] -> []
+    | s -> s)
+  | _ ->
+    let router = List.nth routers (Random.State.int rng (List.length routers)) in
+    let hosts =
+      List.filter
+        (fun v ->
+          v <> p.Platform.source
+          && Platform.is_active p v
+          && p.Platform.kinds.(v) = Platform.Lan)
+        (Digraph.succs p.Platform.graph router)
+    in
+    let killed = spare_a_target rng p (router :: hosts) in
+    List.map (fun v -> Kill_node { node = v; at }) killed
+
 let describe s =
   let one = function
     | Kill_edge e ->

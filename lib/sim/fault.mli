@@ -74,4 +74,39 @@ val random_mixed_kills :
   at:Rat.t ->
   scenario
 
+(** {2 Correlated storm generators}
+
+    The independent per-entity draws above stop being representative at
+    scale: real outages arrive in {e bursts} (a power event takes k things
+    down inside seconds), share hardware (every link through one switch
+    port), or take out whole subtrees (a rack, a site). These generators
+    produce such correlated scenarios — the input of the R3 storm sweep and
+    of the recovery controller's incremental-repair rung. All of them obey
+    the sparing rule of {!random_node_kills}: a storm never kills {e every}
+    target. *)
+
+(** [random_burst rng p ~k ~window ~at] draws [k] distinct entities
+    (undirected links or non-source nodes) uniformly without replacement and
+    kills each at an independent uniform time inside [[at, at + window]] —
+    a failure burst. [k] is clamped to the entity count; killed links die in
+    both directions at the same instant. The result always validates. *)
+val random_burst :
+  Random.State.t -> Platform.t -> k:int -> window:Rat.t -> at:Rat.t -> scenario
+
+(** [shared_endpoint_kills rng p ~endpoints ~at] draws [endpoints] distinct
+    non-source nodes and kills {e every link incident to each} (both
+    directions) at time [at] — the node itself stays alive, modeling a NIC
+    or switch-port failure. Unlike node kills this can isolate a target
+    while it survives, which is exactly the shape that forces the recovery
+    controller into degraded mode. *)
+val shared_endpoint_kills :
+  Random.State.t -> Platform.t -> endpoints:int -> at:Rat.t -> scenario
+
+(** [subtree_outage rng p ~at] kills one uniformly drawn MAN router together
+    with all its LAN hosts — a whole-subtree outage on a {!Tiers}-style
+    platform (a host's only uplink is its MAN router, so the storm severs
+    the full subtree at once). On platforms with no MAN layer it degenerates
+    to a single {!shared_endpoint_kills} outage. The sparing rule applies. *)
+val subtree_outage : Random.State.t -> Platform.t -> at:Rat.t -> scenario
+
 val describe : scenario -> string

@@ -1,6 +1,6 @@
 type event =
   | Failure_observed of { at : Rat.t; losses : int; scenario : string }
-  | Replan_attempt of { n : int; at : Rat.t }
+  | Replan_attempt of { n : int; at : Rat.t; incremental : bool }
   | Replan_failed of { n : int; reason : string }
   | Deadline_exceeded of { n : int; seconds : float; deadline : float }
   | Fallback_to_checkpoint of { n : int }
@@ -16,6 +16,8 @@ type policy = {
   replan_deadline : float;
   drop_order : int list;
   horizon_periods : int;
+  prefer_incremental : bool;
+  patch_retention_floor : float;
 }
 
 let default_policy (p : Platform.t) =
@@ -26,7 +28,29 @@ let default_policy (p : Platform.t) =
     replan_deadline = 1.0;
     drop_order = List.rev p.Platform.targets;
     horizon_periods = 12;
+    prefer_incremental = true;
+    patch_retention_floor = 0.0;
   }
+
+let validate_policy (p : Platform.t) pol =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let n = Platform.n_nodes p in
+  if pol.max_attempts < 1 then
+    err "policy: max_attempts must be >= 1 (got %d)" pol.max_attempts
+  else if pol.backoff_factor < 1 then
+    err "policy: backoff_factor must be >= 1 (got %d)" pol.backoff_factor
+  else if Rat.sign pol.base_backoff < 0 then
+    err "policy: base_backoff must be >= 0 (got %s)" (Rat.to_string pol.base_backoff)
+  else if not (pol.replan_deadline > 0.0) then
+    err "policy: replan_deadline must be positive (got %g)" pol.replan_deadline
+  else if pol.horizon_periods < 1 then
+    err "policy: horizon_periods must be >= 1 (got %d)" pol.horizon_periods
+  else if not (pol.patch_retention_floor >= 0.0 && pol.patch_retention_floor <= 1.0)
+  then err "policy: patch_retention_floor must be in [0, 1] (got %g)" pol.patch_retention_floor
+  else
+    match List.find_opt (fun v -> v < 0 || v >= n) pol.drop_order with
+    | Some v -> err "policy: drop_order node %d out of range [0, %d)" v n
+    | None -> Ok ()
 
 type planner =
   ?before:Schedule.t -> Platform.t -> Repair.damage -> (Repair.report, string) result
@@ -62,10 +86,10 @@ let event_name = function
 
 let runs = Metrics.counter "recovery.runs"
 let replan_attempts = Metrics.counter "recovery.replan_attempts"
+let replan_seconds = Metrics.histogram "recovery.replan_seconds"
 
-let run ?(now = Unix.gettimeofday) ?policy
-    ?(planner : planner = fun ?before p d -> Repair.plan ?before p d)
-    (p : Platform.t) (sched : Schedule.t) (scenario : Fault.scenario) =
+let run_validated ~now ~pol ~(planner : planner) (p : Platform.t)
+    (sched : Schedule.t) (scenario : Fault.scenario) =
   Metrics.incr runs;
   Trace.with_span ~cat:"recovery" "recovery.run"
     ~result:(fun o ->
@@ -80,7 +104,6 @@ let run ?(now = Unix.gettimeofday) ?policy
             | `Fallback _ -> "fallback") );
       ])
   @@ fun () ->
-  let pol = match policy with Some pol -> pol | None -> default_policy p in
   let horizon = max pol.horizon_periods (Schedule.init_periods sched + 3) in
   let fs = Event_sim.run_with_faults sched ~faults:scenario ~periods:horizon in
   if fs.Event_sim.f_losses = [] then
@@ -108,22 +131,31 @@ let run ?(now = Unix.gettimeofday) ?policy
     let damage = Fault.damage scenario in
     let attempts = ref 0 in
     (* One guarded attempt: deadline, then planner verdict, then an
-       independent Schedule.check on whatever the planner returned. *)
-    let attempt plat =
+       independent Schedule.check on whatever the planner returned. The
+       incremental rung patches the running schedule without internal
+       fallback — escalation to the full planner is this ladder's job, so a
+       failed patch surfaces as one more [Replan_failed]. *)
+    let attempt ?(incremental = false) plat =
       incr attempts;
       Metrics.incr replan_attempts;
       let n = !attempts in
-      emit (Replan_attempt { n; at = !clock });
+      emit (Replan_attempt { n; at = !clock; incremental });
       let t0 = now () in
       let result =
         Trace.with_span ~cat:"recovery" "recovery.replan"
-          ~args:[ ("attempt", Trace.Int n) ]
+          ~args:
+            [ ("attempt", Trace.Int n); ("incremental", Trace.Bool incremental) ]
           ~result:(function
             | Ok _ -> [ ("outcome", Trace.Str "ok") ]
             | Error e -> [ ("outcome", Trace.Str e) ])
-          (fun () -> planner ~before:sched plat damage)
+          (fun () ->
+            if incremental then
+              Repair.plan_incremental ~fallback:false
+                ~retention_floor:pol.patch_retention_floor ~before:sched plat damage
+            else planner ~before:sched plat damage)
       in
       let dt = now () -. t0 in
+      Metrics.observe replan_seconds dt;
       if dt > pol.replan_deadline then begin
         emit (Deadline_exceeded { n; seconds = dt; deadline = pol.replan_deadline });
         emit (Fallback_to_checkpoint { n });
@@ -163,7 +195,21 @@ let run ?(now = Unix.gettimeofday) ?policy
           end;
           full_loop (k + 1) e
     in
-    match full_loop 1 "no attempt made" with
+    (* Phase 0 (when the policy prefers it): one incremental-repair rung —
+       patch the running schedule in O(damage). A failed patch escalates to
+       the full-re-plan ladder immediately; it never consumes one of the
+       [max_attempts] full-re-plan slots and never backs off first, because
+       escalation is a different strategy, not a retry of the same one. *)
+    let phase1 =
+      if not pol.prefer_incremental then full_loop 1 "no attempt made"
+      else
+        match attempt ~incremental:true p with
+        | Ok rep -> Ok rep
+        | Error e ->
+          emit (Replan_failed { n = !attempts; reason = e });
+          full_loop 1 e
+    in
+    match phase1 with
     | Ok rep ->
       emit
         (Recovered
@@ -215,12 +261,21 @@ let run ?(now = Unix.gettimeofday) ?policy
       else degrade [] surviving full_err
   end
 
+let run ?(now = Unix.gettimeofday) ?policy
+    ?(planner : planner = fun ?before p d -> Repair.plan ?before p d)
+    (p : Platform.t) (sched : Schedule.t) (scenario : Fault.scenario) =
+  let pol = match policy with Some pol -> pol | None -> default_policy p in
+  match validate_policy p pol with
+  | Error e -> Error e
+  | Ok () -> Ok (run_validated ~now ~pol ~planner p sched scenario)
+
 let pp_event fmt = function
   | Failure_observed e ->
     Format.fprintf fmt "[t=%s] failure observed: %d deliveries lost (%s)"
       (Rat.to_string e.at) e.losses e.scenario
   | Replan_attempt e ->
-    Format.fprintf fmt "[t=%s] re-plan attempt %d" (Rat.to_string e.at) e.n
+    Format.fprintf fmt "[t=%s] re-plan attempt %d%s" (Rat.to_string e.at) e.n
+      (if e.incremental then " (incremental patch)" else "")
   | Replan_failed e -> Format.fprintf fmt "re-plan attempt %d failed: %s" e.n e.reason
   | Deadline_exceeded e ->
     Format.fprintf fmt "attempt %d exceeded the %.3fs deadline (took %.3fs)" e.n

@@ -26,7 +26,9 @@
 type event =
   | Failure_observed of { at : Rat.t; losses : int; scenario : string }
       (** the faulty replay lost [losses] owed deliveries *)
-  | Replan_attempt of { n : int; at : Rat.t }
+  | Replan_attempt of { n : int; at : Rat.t; incremental : bool }
+      (** [incremental]: the attempt patches the running schedule
+          ({!Repair.plan_incremental}) instead of re-planning from scratch *)
   | Replan_failed of { n : int; reason : string }
   | Deadline_exceeded of { n : int; seconds : float; deadline : float }
       (** attempt [n] overran the per-attempt re-plan deadline *)
@@ -49,12 +51,28 @@ type policy = {
       (** targets in the order they may be sacrificed in degraded mode;
           targets not listed are never dropped *)
   horizon_periods : int;  (** replay horizon for failure detection *)
+  prefer_incremental : bool;
+      (** try one {!Repair.plan_incremental} rung (O(damage) patch of the
+          running schedule) before the full-re-plan ladder; a failed patch
+          escalates immediately without consuming a [max_attempts] slot *)
+  patch_retention_floor : float;
+      (** minimum fraction of the pre-failure throughput an incremental
+          patch must retain; below it the rung fails and the controller
+          escalates to a full re-plan *)
 }
 
 (** [default_policy p]: 5 attempts, backoff of one time unit doubling,
     1s deadline, drop order = reversed target list (the highest-numbered
-    target is sacrificed first), 12-period horizon. *)
+    target is sacrificed first), 12-period horizon, incremental-first with
+    no retention floor. *)
 val default_policy : Platform.t -> policy
+
+(** [validate_policy p pol] is the check {!run} performs on entry: rejects
+    [max_attempts < 1], [backoff_factor < 1], negative [base_backoff],
+    non-positive [replan_deadline], [horizon_periods < 1],
+    [patch_retention_floor] outside [[0, 1]] and [drop_order] ids outside
+    the platform's node range, each with a descriptive message. *)
+val validate_policy : Platform.t -> policy -> (unit, string) result
 
 (** The planning function the controller drives — injectable so tests can
     exercise transient failures and deadline overruns. Defaults to
@@ -75,11 +93,18 @@ type outcome = {
   sim_time : Rat.t;  (** simulated clock when the controller stopped *)
 }
 
-(** [run p sched scenario] drives the loop. The scenario must validate
-    against [p]; the initial schedule is the first checkpoint. [now]
+(** [run p sched scenario] drives the loop. The policy is validated on
+    entry ({!validate_policy}) — an invalid one is a caller bug reported as
+    [Error], not silent misbehavior. The scenario must validate against
+    [p]; the initial schedule is the first checkpoint. When the policy
+    prefers it (the default), attempt 1 is an incremental patch of [sched]
+    ({!Repair.plan_incremental} with [fallback:false]) and the injected
+    [planner] is only consulted on escalation and in degraded mode. [now]
     (default [Unix.gettimeofday]) is the wall clock the per-attempt deadline
     is measured against — tests inject a fake clock to provoke deadline
-    overruns deterministically instead of sleeping under a tight deadline. *)
+    overruns deterministically instead of sleeping under a tight deadline.
+    Every attempt's wall-clock cost lands in the [recovery.replan_seconds]
+    histogram. *)
 val run :
   ?now:(unit -> float) ->
   ?policy:policy ->
@@ -87,7 +112,7 @@ val run :
   Platform.t ->
   Schedule.t ->
   Fault.scenario ->
-  outcome
+  (outcome, string) result
 
 (** Stable kebab-case name of an event's constructor, e.g.
     ["replan-attempt"] — used by tests asserting on event sequences and as

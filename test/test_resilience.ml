@@ -359,6 +359,194 @@ let test_random_kills_respect_rate () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* --- incremental repair ------------------------------------------------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_incremental_fallback_on_floor () =
+  (* Killing relay 1 halves the two-relay throughput, so a 90% retention
+     floor is unreachable: the planner must escalate to a full re-plan and
+     say why — and with [fallback:false] surface the same reason as an
+     [Error] for the recovery loop's own escalation ladder. *)
+  let p = Paper_platforms.two_relay () in
+  let before = two_relay_sched () in
+  let damage = Fault.damage [ Fault.Kill_node { node = 1; at = Rat.zero } ] in
+  (match Repair.plan_incremental ~retention_floor:0.9 ~before p damage with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    (match rep.Repair.repair_method with
+    | `Fell_back reason ->
+      Alcotest.(check bool) "reason mentions the floor" true (contains reason "floor")
+    | `Patched | `Full_replan -> Alcotest.fail "expected a fallback report");
+    Alcotest.(check (float 1e-9)) "fallback retention matches the full re-plan" 0.5
+      rep.Repair.retention;
+    Alcotest.(check bool) "fallback report solves the survivor LB" true
+      (rep.Repair.lb_after <> None));
+  match Repair.plan_incremental ~fallback:false ~retention_floor:0.9 ~before p damage with
+  | Error e ->
+    Alcotest.(check bool) "error names the floor" true (contains e "floor")
+  | Ok _ -> Alcotest.fail "fallback:false must surface the floor violation as Error"
+
+let test_incremental_matches_full_plan () =
+  (* Seeded property sweep: on random platforms with one random kill, the
+     incremental patch run with a floor eps under the full re-plan's
+     retention must (a) agree with the full planner on recoverability,
+     (b) produce a schedule that passes Schedule.check, and (c) retain at
+     least the full re-plan's throughput minus eps — by patching, or by
+     detecting its own shortfall and escalating. *)
+  let eps = 0.02 in
+  let patched = ref 0 and fell_back = ref 0 and unrecoverable = ref 0 in
+  for i = 1 to 200 do
+    let rng = Random.State.make [| i; 4243 |] in
+    let p =
+      if i mod 2 = 0 then
+        Generators.random_connected rng ~nodes:(8 + (i mod 7)) ~extra_edges:(4 + (i mod 5))
+          ~min_cost:1 ~max_cost:20 ~n_targets:(2 + (i mod 4))
+      else Tiers.generate rng Tiers.small_params ~n_targets:(2 + (i mod 6))
+    in
+    match Mcph.run p with
+    | None -> Alcotest.failf "case %d: MCPH failed on a connected platform" i
+    | Some r -> (
+      let sched =
+        Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ])
+      in
+      let damage =
+        if Random.State.bool rng then begin
+          let edges =
+            Digraph.fold_edges
+              (fun acc e -> (e.Digraph.src, e.Digraph.dst) :: acc)
+              [] p.Platform.graph
+          in
+          let u, v = List.nth edges (Random.State.int rng (List.length edges)) in
+          { Repair.no_damage with Repair.dead_edges = [ (u, v) ] }
+        end
+        else begin
+          let nodes =
+            List.filter
+              (fun v -> v <> p.Platform.source && Platform.is_active p v)
+              (List.init (Platform.n_nodes p) Fun.id)
+          in
+          let v = List.nth nodes (Random.State.int rng (List.length nodes)) in
+          { Repair.no_damage with Repair.dead_nodes = [ v ] }
+        end
+      in
+      match Repair.plan ~before:sched p damage with
+      | Error _ -> (
+        incr unrecoverable;
+        match Repair.plan_incremental ~before:sched p damage with
+        | Error _ -> ()
+        | Ok _ ->
+          Alcotest.failf
+            "case %d: incremental repaired damage the full planner calls unrecoverable" i)
+      | Ok full -> (
+        let floor = Float.max 0.0 (full.Repair.retention -. eps) in
+        match Repair.plan_incremental ~retention_floor:floor ~before:sched p damage with
+        | Error e -> Alcotest.failf "case %d: incremental failed where full succeeded: %s" i e
+        | Ok inc ->
+          (match Schedule.check inc.Repair.schedule with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "case %d: patched schedule fails check: %s" i e);
+          if inc.Repair.retention < full.Repair.retention -. eps -. 1e-9 then
+            Alcotest.failf "case %d: retention %.4f more than %.2f below the full re-plan's %.4f"
+              i inc.Repair.retention eps full.Repair.retention;
+          (match inc.Repair.repair_method with
+          | `Patched -> incr patched
+          | `Fell_back _ -> incr fell_back
+          | `Full_replan -> Alcotest.failf "case %d: unexpected full-replan tag" i)))
+  done;
+  (* the sweep must actually exercise both paths, not vacuously pass *)
+  Alcotest.(check bool)
+    (Printf.sprintf "patches dominate (%d patched, %d fell back, %d unrecoverable)" !patched
+       !fell_back !unrecoverable)
+    true
+    (!patched > 50)
+
+(* --- correlated storm generators --------------------------------------- *)
+
+let tiers_platform seed = Tiers.generate (Random.State.make [| seed; 6121 |]) Tiers.small_params ~n_targets:6
+
+let dead_nodes_of s =
+  List.filter_map (function Fault.Kill_node { node; _ } -> Some node | _ -> None) s
+
+let killed_links_of s =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | Fault.Kill_edge { src; dst; _ } -> Some (min src dst, max src dst)
+         | _ -> None)
+       s)
+
+let test_random_burst_shape () =
+  let p = tiers_platform 3 in
+  let rng = Random.State.make [| 11 |] in
+  let window = Rat.one and at = Rat.of_int 2 in
+  for k = 1 to 6 do
+    let s = Fault.random_burst rng p ~k ~window ~at in
+    (match Fault.validate p s with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "k=%d: %s" k e);
+    let nodes = dead_nodes_of s and links = killed_links_of s in
+    let entities = List.length nodes + List.length links in
+    Alcotest.(check bool) "at most k distinct entities, at least one" true
+      (entities >= 1 && entities <= k);
+    Alcotest.(check bool) "source never killed" false (List.mem p.Platform.source nodes);
+    Alcotest.(check bool) "a target survives" true
+      (List.exists (fun t -> not (List.mem t nodes)) p.Platform.targets);
+    List.iter
+      (fun ev ->
+        let t =
+          match ev with
+          | Fault.Kill_edge { at; _ } | Fault.Kill_node { at; _ } | Fault.Degrade_edge { at; _ }
+            -> at
+        in
+        Alcotest.(check bool) "fires inside [at, at+window]" true
+          (Rat.compare t at >= 0 && Rat.compare t (Rat.add at window) <= 0))
+      s
+  done
+
+let test_shared_endpoint_kills_shape () =
+  (* A NIC failure: the node survives (no Kill_node), and for one endpoint
+     every killed link shares that endpoint. *)
+  let p = tiers_platform 4 in
+  let rng = Random.State.make [| 12 |] in
+  let s = Fault.shared_endpoint_kills rng p ~endpoints:1 ~at:Rat.zero in
+  (match Fault.validate p s with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (list int)) "no node dies" [] (dead_nodes_of s);
+  let links = killed_links_of s in
+  Alcotest.(check bool) "some links die" true (links <> []);
+  let shared v = List.for_all (fun (a, b) -> a = v || b = v) links in
+  Alcotest.(check bool) "every killed link shares one endpoint" true
+    (List.exists shared (List.init (Platform.n_nodes p) Fun.id))
+
+let test_subtree_outage_shape () =
+  let p = tiers_platform 5 in
+  let rng = Random.State.make [| 13 |] in
+  let s = Fault.subtree_outage rng p ~at:Rat.zero in
+  (match Fault.validate p s with Ok () -> () | Error e -> Alcotest.fail e);
+  let dead = dead_nodes_of s in
+  (match List.filter (fun v -> p.Platform.kinds.(v) = Platform.Man) dead with
+  | [ m ] ->
+    List.iter
+      (fun v ->
+        if v <> m then begin
+          Alcotest.(check bool) (Printf.sprintf "dead node %d is a LAN host" v) true
+            (p.Platform.kinds.(v) = Platform.Lan);
+          Alcotest.(check bool) (Printf.sprintf "host %d hangs off the dead router" v) true
+            (List.mem v (Digraph.succs p.Platform.graph m))
+        end)
+      dead
+  | l -> Alcotest.failf "expected exactly one dead MAN router, got %d" (List.length l));
+  (* no MAN layer: degenerates to a single endpoint outage, nodes stay alive *)
+  let flat = Paper_platforms.two_relay () in
+  let s2 = Fault.subtree_outage (Random.State.make [| 14 |]) flat ~at:Rat.zero in
+  (match Fault.validate flat s2 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (list int)) "degenerate case kills links only" [] (dead_nodes_of s2);
+  Alcotest.(check bool) "degenerate case still kills something" true
+    (killed_links_of s2 <> [])
+
 let suite =
   [
     ("faulty replay: no faults, no losses", `Quick, test_no_faults_is_lossless);
@@ -377,4 +565,9 @@ let suite =
     ("repair: degradation costs throughput", `Quick, test_repair_degradation_costs_throughput);
     ("repair: unrecoverable damage rejected", `Quick, test_repair_unrecoverable);
     ("random link kills respect the rate", `Quick, test_random_kills_respect_rate);
+    ("incremental repair: floor violation falls back", `Quick, test_incremental_fallback_on_floor);
+    ("incremental repair: 200-case sweep vs full re-plan", `Slow, test_incremental_matches_full_plan);
+    ("storm: random burst shape", `Quick, test_random_burst_shape);
+    ("storm: shared-endpoint kills shape", `Quick, test_shared_endpoint_kills_shape);
+    ("storm: subtree outage shape", `Quick, test_subtree_outage_shape);
   ]

@@ -140,9 +140,16 @@ let two_relay_sched () =
   let via r = Multicast_tree.of_edges_exn p [ (0, r); (r, 3); (r, 4) ] in
   Schedule.of_tree_set (Tree_set.make [ (via 1, q 1 2); (via 2, q 1 2) ])
 
+(* The loop validates its policy and returns a result; the happy-path tests
+   unwrap it. *)
+let run_ok ?now ?policy ?planner p sched scenario =
+  match Recovery_loop.run ?now ?policy ?planner p sched scenario with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "recovery loop rejected a valid policy: %s" e
+
 let test_recovery_no_failure () =
   let p = Paper_platforms.two_relay () in
-  let o = Recovery_loop.run p (two_relay_sched ()) [] in
+  let o = run_ok p (two_relay_sched ()) [] in
   (match o.Recovery_loop.final with
   | `No_failure -> ()
   | _ -> Alcotest.fail "expected `No_failure");
@@ -150,16 +157,28 @@ let test_recovery_no_failure () =
     (List.map Recovery_loop.event_name o.Recovery_loop.events)
 
 let test_recovery_simple () =
-  (* One dead relay: the first attempt succeeds; no backoff, no degradation. *)
+  (* One dead relay: the first attempt (the incremental rung, under the
+     default policy) succeeds; no backoff, no degradation. *)
   let p = Paper_platforms.two_relay () in
   let scenario = [ Fault.Kill_node { node = 1; at = Rat.zero } ] in
-  let o = Recovery_loop.run p (two_relay_sched ()) scenario in
+  let o = run_ok p (two_relay_sched ()) scenario in
   Alcotest.(check (list string)) "event sequence"
     [ "failure-observed"; "replan-attempt"; "recovered" ]
     (List.map Recovery_loop.event_name o.Recovery_loop.events);
+  (match
+     List.find_opt
+       (function Recovery_loop.Replan_attempt _ -> true | _ -> false)
+       o.Recovery_loop.events
+   with
+  | Some (Recovery_loop.Replan_attempt a) ->
+    Alcotest.(check bool) "first attempt is the incremental rung" true a.incremental
+  | _ -> Alcotest.fail "expected a replan attempt");
   match o.Recovery_loop.final with
   | `Recovered rep ->
-    Alcotest.(check (float 1e-9)) "halved throughput" 0.5 rep.Repair.throughput_after
+    Alcotest.(check (float 1e-9)) "halved throughput" 0.5 rep.Repair.throughput_after;
+    (match rep.Repair.repair_method with
+    | `Patched -> ()
+    | _ -> Alcotest.fail "expected a patched repair from the incremental rung")
   | _ -> Alcotest.fail "expected full recovery"
 
 let test_recovery_full_sequence () =
@@ -189,9 +208,10 @@ let test_recovery_full_sequence () =
       Recovery_loop.max_attempts = 3;
       base_backoff = q 1 2;
       backoff_factor = 2;
+      prefer_incremental = false;
     }
   in
-  let o = Recovery_loop.run ~policy ~planner:flaky p sched scenario in
+  let o = run_ok ~policy ~planner:flaky p sched scenario in
   Alcotest.(check (list string)) "full event sequence"
     [
       "failure-observed";
@@ -244,9 +264,10 @@ let test_recovery_deadline_fallback () =
       Recovery_loop.max_attempts = 1;
       replan_deadline = 0.01;
       drop_order = [];
+      prefer_incremental = false;
     }
   in
-  let o = Recovery_loop.run ~now ~policy ~planner:slow p sched scenario in
+  let o = run_ok ~now ~policy ~planner:slow p sched scenario in
   Alcotest.(check (list string)) "deadline sequence"
     [
       "failure-observed"; "replan-attempt"; "deadline-exceeded";
@@ -274,14 +295,14 @@ let test_recovery_drop_order_respected () =
   let policy =
     { (Recovery_loop.default_policy p) with Recovery_loop.max_attempts = 1; drop_order = [ 4 ] }
   in
-  let o = Recovery_loop.run ~policy p sched scenario in
+  let o = run_ok ~policy p sched scenario in
   (match o.Recovery_loop.final with
   | `Degraded (_, dropped) -> Alcotest.(check (list int)) "dropped 4 only" [ 4 ] dropped
   | _ -> Alcotest.fail "expected degraded recovery");
   let policy_keep4 =
     { policy with Recovery_loop.drop_order = [ 3 ] }
   in
-  let o2 = Recovery_loop.run ~policy:policy_keep4 p sched scenario in
+  let o2 = run_ok ~policy:policy_keep4 p sched scenario in
   match o2.Recovery_loop.final with
   | `Fallback _ -> ()
   | _ -> Alcotest.fail "protecting the unreachable target must end in fallback"
@@ -382,6 +403,48 @@ let test_repair_plan_total () =
       Alcotest.failf "case %d: Repair.plan raised %s" i (Printexc.to_string e)
   done
 
+let test_policy_validation () =
+  let p = Paper_platforms.two_relay () in
+  let ok = Recovery_loop.default_policy p in
+  (match Recovery_loop.validate_policy p ok with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "default policy rejected: %s" e);
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let expect_reject what pol needle =
+    match Recovery_loop.validate_policy p pol with
+    | Ok () -> Alcotest.failf "%s accepted" what
+    | Error e ->
+      Alcotest.(check bool) (Printf.sprintf "%s: %S names %S" what e needle) true
+        (contains e needle)
+  in
+  expect_reject "max_attempts 0" { ok with Recovery_loop.max_attempts = 0 } "max_attempts";
+  expect_reject "backoff_factor 0" { ok with Recovery_loop.backoff_factor = 0 } "backoff_factor";
+  expect_reject "negative base_backoff"
+    { ok with Recovery_loop.base_backoff = Rat.of_int (-1) }
+    "base_backoff";
+  expect_reject "zero replan_deadline" { ok with Recovery_loop.replan_deadline = 0.0 }
+    "replan_deadline";
+  expect_reject "nan replan_deadline" { ok with Recovery_loop.replan_deadline = Float.nan }
+    "replan_deadline";
+  expect_reject "horizon_periods 0" { ok with Recovery_loop.horizon_periods = 0 }
+    "horizon_periods";
+  expect_reject "retention floor above 1"
+    { ok with Recovery_loop.patch_retention_floor = 1.5 }
+    "patch_retention_floor";
+  expect_reject "drop_order id out of range" { ok with Recovery_loop.drop_order = [ 99 ] }
+    "drop_order";
+  (* run performs the same validation on entry *)
+  match
+    Recovery_loop.run ~policy:{ ok with Recovery_loop.max_attempts = 0 } p
+      (two_relay_sched ()) []
+  with
+  | Error e -> Alcotest.(check bool) "run rejects invalid policy" true (contains e "max_attempts")
+  | Ok _ -> Alcotest.fail "run accepted an invalid policy"
+
 let suite =
   [
     ("single failures enumerated", `Quick, test_single_failures_two_relay);
@@ -400,4 +463,5 @@ let suite =
     ("mixed kills cover links and nodes", `Quick, test_random_mixed_kills);
     ("repair baseline tag explicit", `Quick, test_repair_baseline_tag);
     ("property: repair plan is total (220 cases)", `Quick, test_repair_plan_total);
+    ("recovery: policy validation", `Quick, test_policy_validation);
   ]
