@@ -901,6 +901,150 @@ let storms () =
   Printf.printf "storm summary: %s\n" fname
 
 (* ------------------------------------------------------------------ *)
+(* R4 — chaos soak: damped controller vs naive re-planning (BENCH_7).   *)
+
+(* Both controllers soak the same schedule against the same flapping-link
+   timeline — the scenario flap damping exists for: a few links cycling
+   up/down fast, most flaps never touching the running schedule. The
+   naive controller re-plans fully on every effective-damage change; the
+   damped one suppresses flappers, rations full re-plans through the
+   token bucket and re-integrates healed capacity only past the
+   hysteresis bar. The ablation claim is the R4 row of EXPERIMENTS.md:
+   >= 3x fewer full re-plans at a delivered-throughput integral within
+   5% of naive.
+
+   The naive leg runs FIRST within each seed: the soak gauges
+   (soak.availability, soak.delivered_fraction, recovery.replans_per_hour)
+   are last-write-wins, so the damped leg's values are what BENCH_5.json
+   records and the regression gate compares. *)
+let soak_bench () =
+  banner "R4 / soak — flap-damped recovery controller vs naive re-planning";
+  let seeds = max 1 !trials in
+  let horizon = Rat.of_int 400 in
+  let naive_replans = ref 0 and damped_replans = ref 0 in
+  let naive_delivered = ref 0.0 and damped_delivered = ref 0.0 in
+  let nominal_integral = ref 0.0 in
+  let naive_avail = ref [] and damped_avail = ref [] in
+  let damped_patches = ref 0 and suppressions = ref 0 and reintegrations = ref 0 in
+  let exhaustions = ref 0 and epochs = ref 0 and events = ref 0 in
+  let soaked = ref 0 in
+  Printf.printf
+    "seeds: %d; flapping 3 links x 6 flaps (mean up 40, down 5), horizon %s\n%!" seeds
+    (Rat.to_string horizon);
+  Printf.printf "%6s %8s | %10s %10s | %10s %10s | %9s\n" "seed" "events" "naive-rpl"
+    "damped-rpl" "naive-del" "damped-del" "supp";
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| seed; 6131 |] in
+    let p = Tiers.generate rng Tiers.small_params ~n_targets:8 in
+    match Mcph.run p with
+    | None -> ()
+    | Some r ->
+      let sched =
+        Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ])
+      in
+      let scenario =
+        Fault.flapping_links rng p ~links:3 ~flaps:6 ~mean_up:40.0 ~mean_down:5.0
+          ~at:Rat.zero
+      in
+      let run config =
+        match Soak.run ~config p sched scenario ~horizon with
+        | Error e -> failwith ("soak bench: " ^ e)
+        | Ok rep -> rep
+      in
+      let naive = run (Soak.naive_config p) in
+      let damped = run (Soak.default_config p) in
+      incr soaked;
+      naive_replans := !naive_replans + naive.Soak.sk_full_replans;
+      damped_replans := !damped_replans + damped.Soak.sk_full_replans;
+      naive_delivered := !naive_delivered +. naive.Soak.sk_delivered_integral;
+      damped_delivered := !damped_delivered +. damped.Soak.sk_delivered_integral;
+      nominal_integral := !nominal_integral +. naive.Soak.sk_nominal_integral;
+      naive_avail := naive.Soak.sk_availability :: !naive_avail;
+      damped_avail := damped.Soak.sk_availability :: !damped_avail;
+      damped_patches := !damped_patches + damped.Soak.sk_patches;
+      suppressions := !suppressions + damped.Soak.sk_suppressions;
+      reintegrations := !reintegrations + damped.Soak.sk_reintegrations;
+      exhaustions := !exhaustions + damped.Soak.sk_token_exhaustions;
+      epochs := !epochs + damped.Soak.sk_epochs;
+      events := !events + damped.Soak.sk_events;
+      Printf.printf "%6d %8d | %10d %10d | %10.3f %10.3f | %9d\n" seed
+        damped.Soak.sk_events naive.Soak.sk_full_replans damped.Soak.sk_full_replans
+        naive.Soak.sk_delivered_integral damped.Soak.sk_delivered_integral
+        damped.Soak.sk_suppressions
+  done;
+  let mean = function
+    | [] -> nan
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let delivered_ratio =
+    if !naive_delivered > 0.0 then !damped_delivered /. !naive_delivered else nan
+  in
+  let replan_ratio =
+    if !damped_replans > 0 then
+      float_of_int !naive_replans /. float_of_int !damped_replans
+    else infinity
+  in
+  Printf.printf "full re-plans:  naive %d, damped %d (%.1fx fewer)\n" !naive_replans
+    !damped_replans replan_ratio;
+  Printf.printf "delivered:      naive %.3f, damped %.3f of %.3f nominal (ratio %.4f)\n"
+    !naive_delivered !damped_delivered !nominal_integral delivered_ratio;
+  Printf.printf "availability:   naive mean %.4f, damped mean %.4f\n" (mean !naive_avail)
+    (mean !damped_avail);
+  Printf.printf
+    "damped extras:  %d patches, %d suppressions, %d re-integrations, %d token \
+     exhaustions over %d epochs\n"
+    !damped_patches !suppressions !reintegrations !exhaustions !epochs;
+  let ok_replans = !soaked > 0 && !naive_replans >= 3 * max 1 !damped_replans in
+  let ok_delivered = !soaked > 0 && delivered_ratio >= 0.95 in
+  let ok_damping = !suppressions >= 1 in
+  Printf.printf
+    "shape check: damped controller does >= 3x fewer full re-plans than naive — %s\n"
+    (if ok_replans then "OK" else "MISMATCH");
+  Printf.printf
+    "shape check: damped delivered-throughput integral within 5%% of naive — %s\n"
+    (if ok_delivered then "OK" else "MISMATCH");
+  Printf.printf "shape check: flap damping exercised (suppressions happened) — %s\n"
+    (if ok_damping then "OK" else "MISMATCH");
+  ensure_out_dir ();
+  let buf = Buffer.create 1024 in
+  let fld ?(indent = "  ") last name v =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%S: %s%s\n" indent name v (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  fld false "platform" "\"tiers-small (8 targets)\"";
+  fld false "scenario" "\"flapping: 3 links x 6 flaps, mean up 40, mean down 5\"";
+  fld false "horizon" (Rat.to_string horizon);
+  fld false "seeds" (string_of_int seeds);
+  fld false "soaked" (string_of_int !soaked);
+  fld false "fault_events" (string_of_int !events);
+  fld false "epochs_damped" (string_of_int !epochs);
+  fld false "full_replans_naive" (string_of_int !naive_replans);
+  fld false "full_replans_damped" (string_of_int !damped_replans);
+  fld false "replan_ratio"
+    (if Float.is_finite replan_ratio then Printf.sprintf "%.4f" replan_ratio
+     else "\"inf\"");
+  fld false "delivered_naive" (Printf.sprintf "%.6f" !naive_delivered);
+  fld false "delivered_damped" (Printf.sprintf "%.6f" !damped_delivered);
+  fld false "nominal_integral" (Printf.sprintf "%.6f" !nominal_integral);
+  fld false "delivered_ratio" (Printf.sprintf "%.6f" delivered_ratio);
+  fld false "availability_naive_mean" (Printf.sprintf "%.6f" (mean !naive_avail));
+  fld false "availability_damped_mean" (Printf.sprintf "%.6f" (mean !damped_avail));
+  fld false "damped_patches" (string_of_int !damped_patches);
+  fld false "suppressions" (string_of_int !suppressions);
+  fld false "reintegrations" (string_of_int !reintegrations);
+  fld false "token_exhaustions" (string_of_int !exhaustions);
+  Buffer.add_string buf "  \"shape\": {\n";
+  fld ~indent:"    " false "replans_3x_fewer" (if ok_replans then "true" else "false");
+  fld ~indent:"    " false "delivered_within_5pct" (if ok_delivered then "true" else "false");
+  fld ~indent:"    " true "damping_exercised" (if ok_damping then "true" else "false");
+  Buffer.add_string buf "  }\n}\n";
+  let fname = bench_json_file 7 in
+  let oc = open_out fname in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "soak summary: %s\n" fname
+
+(* ------------------------------------------------------------------ *)
 (* E11 — Theorem 5: prefix gadget.                                      *)
 
 let prefix () =
@@ -1206,6 +1350,7 @@ let () =
   if want "resilience" then resilience ();
   if want "robust" then robust ();
   if want "storms" then storms ();
+  if want "soak" then soak_bench ();
   if want "pseries" then pseries ();
   if want "hseries" then hseries ();
   if want "prefix" then prefix ();

@@ -11,6 +11,7 @@
      resilience          failure injection, schedule repair, retention report
                          (--online drives the recovery-loop controller)
      robust              proactive robust planning: worst-case retention report
+     soak                chaos soak: continuous recovery over a fail/repair timeline
      profile             run a workload under tracing, print a self-time profile
      prefix              Theorem 5 parallel-prefix gadget walk-through
      gadget              set-cover gadget and the Theorem 1 correspondence *)
@@ -87,6 +88,20 @@ let print_perf_counters () =
     c.Lp_counters.exact_solves
     (c.Lp_counters.pivots + c.Lp_counters.exact_pivots)
     s.Lp_cache.hits s.Lp_cache.misses
+
+(* The stochastic subcommands (resilience / robust / soak) share one --seed
+   convention; any nonzero exit names the effective seed so the failing run
+   can be reproduced verbatim from the CI log. *)
+let exit_with_seed ~seed code =
+  if code <> 0 then
+    Printf.eprintf "effective seed: %d (rerun with --seed %d to reproduce)\n%!" seed seed;
+  exit code
+
+let with_seed_reporting ~seed f =
+  try f ()
+  with Failure e ->
+    Printf.eprintf "mcast: %s\n%!" e;
+    exit_with_seed ~seed 1
 
 (* --- generate --- *)
 
@@ -315,6 +330,7 @@ let scatter_schedule_cmd =
 let resilience file kind seed n_targets kill_edges kill_nodes degrades at periods online
     max_attempts drop_order storm storm_k incremental jobs trace metrics =
   with_observability ~trace ~metrics @@ fun () ->
+  with_seed_reporting ~seed @@ fun () ->
   let p =
     match file with
     | Some _ -> read_platform file
@@ -405,7 +421,9 @@ let resilience file kind seed n_targets kill_edges kill_nodes degrades at period
         Format.printf "%a@." Recovery_loop.pp_outcome o;
         print_perf_counters ();
         (* Unrecovered runs exit nonzero so CI and scripts can detect them. *)
-        match o.Recovery_loop.final with `Fallback _ -> exit 1 | _ -> ())
+        match o.Recovery_loop.final with
+        | `Fallback _ -> exit_with_seed ~seed 1
+        | _ -> ())
     end
     else
     match
@@ -522,6 +540,7 @@ let storm_failures p ~seed ~storms =
 let robust file kind seed n_targets loss_bound max_scenarios with_lb storms jobs trace
     metrics =
   with_observability ~trace ~metrics @@ fun () ->
+  with_seed_reporting ~seed @@ fun () ->
   let p =
     match file with
     | Some _ -> read_platform file
@@ -592,6 +611,188 @@ let robust_cmd =
     Term.(
       const robust $ platform_arg $ kind $ seed_arg $ n_targets $ loss_bound
       $ max_scenarios $ with_lb $ storms $ jobs_arg $ trace_arg $ metrics_arg)
+
+(* --- soak --- *)
+
+let rat_arg ~what s =
+  match Rat.of_string s with
+  | r -> r
+  | exception _ -> failwith (Printf.sprintf "bad %s: %s" what s)
+
+let soak file kind seed n_targets horizon scenario_kind mtbf mttr flap_links flaps
+    mean_up mean_down waves wave_period wave_factor wave_rate controller tokens
+    token_refill hysteresis min_availability show_log trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
+  with_seed_reporting ~seed @@ fun () ->
+  let p =
+    match file with
+    | Some _ -> read_platform file
+    | None ->
+      let rng = Random.State.make [| seed |] in
+      platform_of_kind rng kind ~n_targets
+  in
+  let horizon = rat_arg ~what:"--horizon" horizon in
+  if Rat.sign horizon <= 0 then failwith "--horizon must be positive";
+  let rng = Random.State.make [| seed; 7001 |] in
+  let scenario =
+    match scenario_kind with
+    | "renewal" -> Fault.renewal_link_faults rng p ~mtbf ~mttr ~horizon
+    | "renewal-nodes" -> Fault.renewal_node_faults rng p ~mtbf ~mttr ~horizon
+    | "renewal-mixed" ->
+      (* Node failures are rarer than link failures on real platforms;
+         double the node MTBF so mixed runs are link-dominated. *)
+      Fault.renewal_link_faults rng p ~mtbf ~mttr ~horizon
+      @ Fault.renewal_node_faults rng p ~mtbf:(2. *. mtbf) ~mttr ~horizon
+    | "flapping" ->
+      Fault.flapping_links rng p ~links:flap_links ~flaps ~mean_up ~mean_down
+        ~at:Rat.zero
+    | "diurnal" ->
+      Fault.diurnal_degradation rng p ~waves
+        ~period:(rat_arg ~what:"--wave-period" wave_period)
+        ~factor:(rat_arg ~what:"--wave-factor" wave_factor)
+        ~rate:wave_rate
+    | other -> failwith ("unknown --scenario kind: " ^ other)
+  in
+  Printf.printf "%s\n" (Platform.describe p);
+  Printf.printf "scenario: %s, %d fault events, horizon %s\n" scenario_kind
+    (List.length scenario) (Rat.to_string horizon);
+  match Mcph.run p with
+  | None -> failwith "some target is unreachable"
+  | Some r -> (
+    let sched =
+      Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ])
+    in
+    (match Schedule.check sched with
+    | Ok () -> ()
+    | Error e -> failwith ("baseline schedule check failed: " ^ e));
+    let base = Soak.default_config p in
+    let controller =
+      match controller with
+      | "damped" -> Soak.Damped Soak.default_damping
+      | "naive" -> Soak.Naive
+      | other -> failwith ("unknown --controller: " ^ other)
+    in
+    let config =
+      { base with Soak.controller; token_capacity = tokens; token_refill; hysteresis }
+    in
+    match Soak.run ~config p sched scenario ~horizon with
+    | Error e -> failwith ("soak rejected: " ^ e)
+    | Ok rep ->
+      Format.printf "%a@." Soak.pp_report rep;
+      if show_log then begin
+        Printf.printf "event log:\n";
+        List.iter (fun ev -> Format.printf "  %a@." Soak.pp_event ev) rep.Soak.sk_log
+      end;
+      print_perf_counters ();
+      (match min_availability with
+      | Some m when rep.Soak.sk_availability < m ->
+        Printf.eprintf "soak: availability %.4f below the required %.4f\n%!"
+          rep.Soak.sk_availability m;
+        exit_with_seed ~seed 1
+      | _ -> ()))
+
+let soak_cmd =
+  let kind =
+    let doc = "Platform kind when no file is given (see $(b,generate))." in
+    Arg.(value & opt string "tiers-small" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_targets =
+    let doc = "Number of multicast targets for generated platforms." in
+    Arg.(value & opt int 8 & info [ "targets" ] ~docv:"N" ~doc)
+  in
+  let horizon =
+    let doc = "Simulated soak horizon (rational time units)." in
+    Arg.(value & opt string "600" & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let scenario =
+    let doc =
+      "Fault timeline: $(b,renewal) (per-link fail/repair renewal process), \
+       $(b,renewal-nodes) (per-node), $(b,renewal-mixed) (both, node MTBF doubled), \
+       $(b,flapping) (a few links cycling up/down fast), or $(b,diurnal) \
+       (congestion waves degrading links, then clearing)."
+    in
+    Arg.(value & opt string "renewal" & info [ "scenario" ] ~docv:"KIND" ~doc)
+  in
+  let mtbf =
+    let doc =
+      "Mean time between failures for the renewal scenarios (per component; with ~60 \
+       links, mtbf 1500 over a 600-unit horizon means roughly 25 failures)."
+    in
+    Arg.(value & opt float 1500. & info [ "mtbf" ] ~docv:"T" ~doc)
+  in
+  let mttr =
+    let doc = "Mean time to repair for the renewal scenarios." in
+    Arg.(value & opt float 30. & info [ "mttr" ] ~docv:"T" ~doc)
+  in
+  let flap_links =
+    let doc = "Number of flapping links (with --scenario flapping)." in
+    Arg.(value & opt int 3 & info [ "flap-links" ] ~docv:"N" ~doc)
+  in
+  let flaps =
+    let doc = "Kill/revive cycles per flapping link." in
+    Arg.(value & opt int 6 & info [ "flaps" ] ~docv:"N" ~doc)
+  in
+  let mean_up =
+    let doc = "Mean up-time between flaps." in
+    Arg.(value & opt float 40. & info [ "mean-up" ] ~docv:"T" ~doc)
+  in
+  let mean_down =
+    let doc = "Mean down-time per flap." in
+    Arg.(value & opt float 5. & info [ "mean-down" ] ~docv:"T" ~doc)
+  in
+  let waves =
+    let doc = "Number of congestion waves (with --scenario diurnal)." in
+    Arg.(value & opt int 4 & info [ "waves" ] ~docv:"N" ~doc)
+  in
+  let wave_period =
+    let doc = "Length of one congestion wave (rational)." in
+    Arg.(value & opt string "150" & info [ "wave-period" ] ~docv:"T" ~doc)
+  in
+  let wave_factor =
+    let doc = "Degradation factor applied during a wave (rational >= 1)." in
+    Arg.(value & opt string "3" & info [ "wave-factor" ] ~docv:"F" ~doc)
+  in
+  let wave_rate =
+    let doc = "Per-link probability of degrading in each wave." in
+    Arg.(value & opt float 0.25 & info [ "wave-rate" ] ~docv:"P" ~doc)
+  in
+  let controller =
+    let doc =
+      "Recovery controller: $(b,damped) (flap damping, re-plan token bucket, \
+       re-integration hysteresis) or $(b,naive) (full re-plan on every change — \
+       the ablation baseline)."
+    in
+    Arg.(value & opt string "damped" & info [ "controller" ] ~docv:"C" ~doc)
+  in
+  let tokens =
+    let doc = "Full-re-plan token bucket capacity (0 = incremental patches only)." in
+    Arg.(value & opt int 4 & info [ "tokens" ] ~docv:"N" ~doc)
+  in
+  let token_refill =
+    let doc = "Simulated time to regain one re-plan token." in
+    Arg.(value & opt float 60. & info [ "token-refill" ] ~docv:"T" ~doc)
+  in
+  let hysteresis =
+    let doc = "Minimum relative throughput gain to re-integrate healed capacity." in
+    Arg.(value & opt float 0.05 & info [ "hysteresis" ] ~docv:"F" ~doc)
+  in
+  let min_availability =
+    let doc = "Exit nonzero when availability lands below $(docv) (CI gate)." in
+    Arg.(value & opt (some float) None & info [ "min-availability" ] ~docv:"F" ~doc)
+  in
+  let show_log =
+    let doc = "Print the full timestamped controller event log." in
+    Arg.(value & flag & info [ "log" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Chaos soak: run the recovery controller continuously over a fail/repair \
+             timeline")
+    Term.(
+      const soak $ platform_arg $ kind $ seed_arg $ n_targets $ horizon $ scenario
+      $ mtbf $ mttr $ flap_links $ flaps $ mean_up $ mean_down $ waves $ wave_period
+      $ wave_factor $ wave_rate $ controller $ tokens $ token_refill $ hysteresis
+      $ min_availability $ show_log $ trace_arg $ metrics_arg)
 
 (* --- profile --- *)
 
@@ -911,6 +1112,7 @@ let main_cmd =
       scatter_schedule_cmd;
       resilience_cmd;
       robust_cmd;
+      soak_cmd;
       profile_cmd;
       prefix_cmd;
       gadget_cmd;

@@ -6,6 +6,34 @@ type damage = {
 
 let no_damage = { dead_edges = []; dead_nodes = []; degraded = [] }
 
+(* Order-insensitive equality: the soak controller compares the effective
+   damage set across epochs to decide whether anything changed, and the set
+   is assembled from unordered scans. Degradation entries on the same edge
+   are compared by net factor (their product), matching apply_damage's
+   multiplicative composition. *)
+let damage_equal a b =
+  let edges d = List.sort_uniq compare d.dead_edges in
+  let nodes d = List.sort_uniq compare d.dead_nodes in
+  let net d =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (e, f) ->
+        let cur = match Hashtbl.find_opt tbl e with Some x -> x | None -> Rat.one in
+        Hashtbl.replace tbl e (Rat.mul cur f))
+      d.degraded;
+    List.sort compare
+      (Hashtbl.fold
+         (fun e f acc -> if Rat.equal f Rat.one then acc else (e, f) :: acc)
+         tbl [])
+  in
+  edges a = edges b && nodes a = nodes b
+  && List.for_all2 (fun (e, f) (e', f') -> e = e' && Rat.equal f f')
+       (net a) (net b)
+
+let damage_equal a b =
+  (* List.for_all2 raises on length mismatch; unequal lengths mean unequal. *)
+  try damage_equal a b with Invalid_argument _ -> false
+
 type repair_method = [ `Full_replan | `Patched | `Fell_back of string ]
 
 type report = {

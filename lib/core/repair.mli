@@ -24,6 +24,12 @@ type damage = {
 
 val no_damage : damage
 
+(** Order-insensitive damage equality: same dead edge/node sets and the same
+    net (multiplicatively composed) degradation factor per edge. The soak
+    controller uses it to detect whether an epoch actually changed the
+    effective damage before spending any re-planning work. *)
+val damage_equal : damage -> damage -> bool
+
 (** [apply_damage p damage] is the surviving platform: dead edges removed,
     degraded edge costs scaled, dead nodes (and their targets) restricted
     away. Node ids are stable. Errors on: killing the source, killing every

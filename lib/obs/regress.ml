@@ -15,6 +15,13 @@ let default_rules ?(tolerance = 0.25) ?time_tolerance () =
     { r_prefix = "repair.patched"; r_dir = Not_below; r_tol = tolerance };
     { r_prefix = "repair.fallback"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "derived.lp_cache.hit_rate"; r_dir = Not_below; r_tol = tolerance };
+    (* Soak gauges are last-write-wins, so the bench runs the damped
+       controller leg last: these gate the damped controller's service
+       quality and re-plan spend, not the naive ablation baseline's. *)
+    { r_prefix = "soak.availability"; r_dir = Not_below; r_tol = tolerance };
+    { r_prefix = "soak.delivered_fraction"; r_dir = Not_below; r_tol = tolerance };
+    { r_prefix = "soak.full_replans"; r_dir = Not_above; r_tol = tolerance };
+    { r_prefix = "recovery.replans_per_hour"; r_dir = Not_above; r_tol = tolerance };
   ]
 
 type status = Passed | Regressed | Missing

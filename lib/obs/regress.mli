@@ -52,7 +52,12 @@ type rule = { r_prefix : string; r_dir : direction; r_tol : float }
     [derived.lp_cache.hit_rate] must not fall more than [tolerance], and
     neither may [repair.patched] (a collapsed patch count means the
     incremental planner stopped patching and every repair pays the full
-    re-plan price). *)
+    re-plan price). The soak gate (PR 7): [soak.availability] and
+    [soak.delivered_fraction] must not fall, [soak.full_replans] and
+    [recovery.replans_per_hour] must not grow — the gauges are
+    last-write-wins, so they reflect the damped controller leg the bench
+    runs last, and a controller change that re-plans more or serves less
+    on the R4 soak workload fails the gate. *)
 val default_rules : ?tolerance:float -> ?time_tolerance:float -> unit -> rule list
 
 type status =

@@ -2,73 +2,205 @@ type event =
   | Kill_edge of { src : int; dst : int; at : Rat.t }
   | Kill_node of { node : int; at : Rat.t }
   | Degrade_edge of { src : int; dst : int; at : Rat.t; factor : Rat.t }
+  | Revive_edge of { src : int; dst : int; at : Rat.t }
+  | Revive_node of { node : int; at : Rat.t }
+  | Clear_degrade of { src : int; dst : int; at : Rat.t }
 
 type scenario = event list
+
+(* --- validation ---------------------------------------------------------- *)
+
+(* Per-entity kill/revive timeline check. After dropping exact duplicates
+   (the same event stated twice is idempotent), the surviving events must
+   alternate kill, revive, kill, ... at strictly increasing times: a kill of
+   a dead entity asserts it died twice, a revive of a live one either
+   precedes any kill or revives twice, and a kill and revive at the same
+   instant leave the state ambiguous. *)
+let check_timeline ~label evs =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rank = function `Kill -> 0 | `Revive -> 1 in
+  let evs =
+    List.sort_uniq
+      (fun (a, ka) (b, kb) ->
+        match Rat.compare a b with 0 -> compare (rank ka) (rank kb) | c -> c)
+      evs
+  in
+  let rec walk alive prev = function
+    | [] -> Ok ()
+    | (at, kind) :: rest -> (
+      match prev with
+      | Some (pat, _) when Rat.equal pat at ->
+        err "%s: kill and revive at the same time %s" label (Rat.to_string at)
+      | _ -> (
+        match (kind, alive) with
+        | `Kill, true -> walk false (Some (at, kind)) rest
+        | `Kill, false ->
+          let pat = match prev with Some (t, _) -> Rat.to_string t | None -> "?" in
+          err "kill-%s: killed twice, at %s and %s" label pat (Rat.to_string at)
+        | `Revive, false -> walk true (Some (at, kind)) rest
+        | `Revive, true -> (
+          match prev with
+          | None ->
+            err "revive-%s: revived before any kill (at %s)" label (Rat.to_string at)
+          | Some (pat, _) ->
+            err "revive-%s: revived twice, at %s and %s" label (Rat.to_string pat)
+              (Rat.to_string at))))
+  in
+  walk true None evs
 
 let validate (p : Platform.t) s =
   let g = p.Platform.graph in
   let n = Digraph.n_nodes g in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  (* First kill time per entity: a repeated kill at the same time is the
-     same event stated twice (idempotent, accepted); at a different time it
-     asserts the entity died twice — contradictory, rejected. *)
-  let edge_killed_at = Hashtbl.create 16 in
-  let node_killed_at = Hashtbl.create 16 in
-  let rec go = function
+  let edge_tl : (int * int, (Rat.t * [ `Kill | `Revive ]) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let node_tl : (int, (Rat.t * [ `Kill | `Revive ]) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let push tbl key ev =
+    let l =
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace tbl key l;
+        l
+    in
+    l := ev :: !l
+  in
+  (* Pass 1: per-event range/shape checks, collecting kill/revive timelines. *)
+  let rec basic = function
     | [] -> Ok ()
-    | Kill_edge { src; dst; at } :: rest -> (
+    | Kill_edge { src; dst; at } :: rest ->
       if not (Digraph.mem_edge g ~src ~dst) then err "kill-edge %d->%d: no such edge" src dst
       else if Rat.(at < zero) then err "kill-edge %d->%d: negative fire time" src dst
-      else
-        match Hashtbl.find_opt edge_killed_at (src, dst) with
-        | Some at' when not (Rat.equal at at') ->
-          err "kill-edge %d->%d: killed twice, at %s and %s" src dst (Rat.to_string at')
-            (Rat.to_string at)
-        | _ ->
-          Hashtbl.replace edge_killed_at (src, dst) at;
-          go rest)
-    | Kill_node { node; at } :: rest -> (
+      else begin
+        push edge_tl (src, dst) (at, `Kill);
+        basic rest
+      end
+    | Kill_node { node; at } :: rest ->
       if node < 0 || node >= n then err "kill-node %d: out of range" node
       else if Rat.(at < zero) then err "kill-node %d: negative fire time" node
-      else
-        match Hashtbl.find_opt node_killed_at node with
-        | Some at' when not (Rat.equal at at') ->
-          err "kill-node %d: killed twice, at %s and %s" node (Rat.to_string at')
-            (Rat.to_string at)
-        | _ ->
-          Hashtbl.replace node_killed_at node at;
-          go rest)
+      else begin
+        push node_tl node (at, `Kill);
+        basic rest
+      end
     | Degrade_edge { src; dst; at; factor } :: rest ->
-      (* A degrade firing at-or-after a kill of the edge (or an endpoint)
-         is a no-op, not an error: the simulator consults kills first
-         ({!edge_dead}), and the recovery planner drops dead edges before
-         applying factors. Validation accepts it. *)
+      (* A degrade firing while the edge (or an endpoint) is dead is a no-op,
+         not an error: the simulator consults kills first ({!edge_dead}), and
+         the recovery planner drops dead edges before applying factors. *)
       if not (Digraph.mem_edge g ~src ~dst) then
         err "degrade-edge %d->%d: no such edge" src dst
       else if Rat.(factor < one) then err "degrade-edge %d->%d: factor < 1" src dst
       else if Rat.(at < zero) then err "degrade-edge %d->%d: negative fire time" src dst
-      else go rest
+      else basic rest
+    | Revive_edge { src; dst; at } :: rest ->
+      if not (Digraph.mem_edge g ~src ~dst) then
+        err "revive-edge %d->%d: no such edge" src dst
+      else if Rat.(at < zero) then err "revive-edge %d->%d: negative fire time" src dst
+      else begin
+        push edge_tl (src, dst) (at, `Revive);
+        basic rest
+      end
+    | Revive_node { node; at } :: rest ->
+      if node < 0 || node >= n then err "revive-node %d: out of range" node
+      else if Rat.(at < zero) then err "revive-node %d: negative fire time" node
+      else begin
+        push node_tl node (at, `Revive);
+        basic rest
+      end
+    | Clear_degrade { src; dst; at } :: rest ->
+      (* Clearing a pristine edge is a no-op; no ordering constraint. *)
+      if not (Digraph.mem_edge g ~src ~dst) then
+        err "clear-degrade %d->%d: no such edge" src dst
+      else if Rat.(at < zero) then err "clear-degrade %d->%d: negative fire time" src dst
+      else basic rest
   in
-  go s
+  (* Pass 2: ordering rules per entity. *)
+  match basic s with
+  | Error _ as e -> e
+  | Ok () ->
+    let check_all fold label_of tbl =
+      fold
+        (fun key l acc ->
+          match acc with
+          | Error _ -> acc
+          | Ok () -> check_timeline ~label:(label_of key) !l)
+        tbl (Ok ())
+    in
+    let edges =
+      check_all Hashtbl.fold
+        (fun (src, dst) -> Printf.sprintf "edge %d->%d" src dst)
+        edge_tl
+    in
+    (match edges with
+    | Error _ as e -> e
+    | Ok () ->
+      check_all Hashtbl.fold (fun v -> Printf.sprintf "node %d" v) node_tl)
 
-let edge_dead s ~src ~dst ~at =
-  List.exists
+(* --- time-varying state -------------------------------------------------- *)
+
+(* The latest kill/revive at-or-before [at] decides the entity's state
+   (validation guarantees kills and revives never tie). No event: alive. *)
+let dead_in events ~at =
+  let latest =
+    List.fold_left
+      (fun acc (t, k) ->
+        if Rat.(t <= at) then
+          match acc with Some (t', _) when Rat.(t' >= t) -> acc | _ -> Some (t, k)
+        else acc)
+      None events
+  in
+  match latest with Some (_, `Kill) -> true | _ -> false
+
+let edge_events s ~src ~dst =
+  List.filter_map
     (function
-      | Kill_edge e -> e.src = src && e.dst = dst && Rat.(e.at <= at)
-      | Kill_node k -> (k.node = src || k.node = dst) && Rat.(k.at <= at)
-      | Degrade_edge _ -> false)
+      | Kill_edge e when e.src = src && e.dst = dst -> Some (e.at, `Kill)
+      | Revive_edge e when e.src = src && e.dst = dst -> Some (e.at, `Revive)
+      | _ -> None)
     s
 
+let node_events s v =
+  List.filter_map
+    (function
+      | Kill_node k when k.node = v -> Some (k.at, `Kill)
+      | Revive_node k when k.node = v -> Some (k.at, `Revive)
+      | _ -> None)
+    s
+
+let edge_dead s ~src ~dst ~at =
+  dead_in (edge_events s ~src ~dst) ~at
+  || dead_in (node_events s src) ~at
+  || dead_in (node_events s dst) ~at
+
 let slowdown s ~src ~dst ~at =
+  let evs =
+    List.filter_map
+      (function
+        | Degrade_edge d when d.src = src && d.dst = dst && Rat.(d.at <= at) ->
+          Some (d.at, `Degrade d.factor)
+        | Clear_degrade c when c.src = src && c.dst = dst && Rat.(c.at <= at) ->
+          Some (c.at, `Clear)
+        | _ -> None)
+      s
+  in
+  let rank = function `Clear -> 0 | `Degrade _ -> 1 in
+  let evs =
+    (* Clears apply before degrades firing at the same instant, so a
+       simultaneous clear+degrade leaves the fresh factor in force. *)
+    List.stable_sort
+      (fun (a, ka) (b, kb) ->
+        match Rat.compare a b with 0 -> compare (rank ka) (rank kb) | c -> c)
+      evs
+  in
   List.fold_left
-    (fun acc -> function
-      | Degrade_edge d when d.src = src && d.dst = dst && Rat.(d.at <= at) ->
-        Rat.mul acc d.factor
-      | _ -> acc)
-    Rat.one s
+    (fun acc (_, k) -> match k with `Clear -> Rat.one | `Degrade f -> Rat.mul acc f)
+    Rat.one evs
 
 (* First-occurrence dedup: duplicate kills are idempotent (see validate),
-   so the end-state damage lists each dead entity once. *)
+   so the damage lists each entity once, in first-mention order. *)
 let dedup xs =
   let seen = Hashtbl.create 16 in
   List.filter
@@ -80,15 +212,56 @@ let dedup xs =
       end)
     xs
 
-let damage s =
+let damage_at s ~at =
+  let edges =
+    dedup
+      (List.filter_map
+         (function
+           | Kill_edge { src; dst; _ } | Revive_edge { src; dst; _ } -> Some (src, dst)
+           | _ -> None)
+         s)
+  in
+  let nodes =
+    dedup
+      (List.filter_map
+         (function
+           | Kill_node { node; _ } | Revive_node { node; _ } -> Some node | _ -> None)
+         s)
+  in
+  let deg_edges =
+    dedup
+      (List.filter_map
+         (function
+           | Degrade_edge { src; dst; _ } | Clear_degrade { src; dst; _ } ->
+             Some (src, dst)
+           | _ -> None)
+         s)
+  in
   {
     Repair.dead_edges =
-      dedup (List.filter_map (function Kill_edge e -> Some (e.src, e.dst) | _ -> None) s);
-    dead_nodes =
-      dedup (List.filter_map (function Kill_node k -> Some k.node | _ -> None) s);
+      List.filter (fun (src, dst) -> dead_in (edge_events s ~src ~dst) ~at) edges;
+    dead_nodes = List.filter (fun v -> dead_in (node_events s v) ~at) nodes;
     degraded =
-      List.filter_map (function Degrade_edge d -> Some ((d.src, d.dst), d.factor) | _ -> None) s;
+      List.filter_map
+        (fun (src, dst) ->
+          let f = slowdown s ~src ~dst ~at in
+          if Rat.equal f Rat.one then None else Some ((src, dst), f))
+        deg_edges;
   }
+
+let event_time = function
+  | Kill_edge { at; _ }
+  | Kill_node { at; _ }
+  | Degrade_edge { at; _ }
+  | Revive_edge { at; _ }
+  | Revive_node { at; _ }
+  | Clear_degrade { at; _ } -> at
+
+let scenario_end = function
+  | [] -> Rat.zero
+  | ev :: rest -> List.fold_left (fun acc e -> Rat.max acc (event_time e)) (event_time ev) rest
+
+let damage s = damage_at s ~at:(scenario_end s)
 
 let random_link_kills rng (p : Platform.t) ~rate ~at =
   let g = p.Platform.graph in
@@ -155,13 +328,19 @@ let undirected_links (p : Platform.t) =
          end)
        [] p.Platform.graph)
 
-let kill_link (p : Platform.t) (u, v) ~at =
+let directed_pair (p : Platform.t) (u, v) f =
   let g = p.Platform.graph in
   List.filter_map
-    (fun (a, b) ->
-      if Digraph.mem_edge g ~src:a ~dst:b then Some (Kill_edge { src = a; dst = b; at })
-      else None)
+    (fun (a, b) -> if Digraph.mem_edge g ~src:a ~dst:b then Some (f a b) else None)
     [ (u, v); (v, u) ]
+
+let kill_link p l ~at = directed_pair p l (fun src dst -> Kill_edge { src; dst; at })
+let revive_link p l ~at = directed_pair p l (fun src dst -> Revive_edge { src; dst; at })
+
+let degrade_link p l ~factor ~at =
+  directed_pair p l (fun src dst -> Degrade_edge { src; dst; at; factor })
+
+let clear_link p l ~at = directed_pair p l (fun src dst -> Clear_degrade { src; dst; at })
 
 (* Never kill every target (same rule as {!random_node_kills}): when the
    draw is total, a uniformly drawn target is spared. *)
@@ -249,6 +428,96 @@ let subtree_outage rng (p : Platform.t) ~at =
     let killed = spare_a_target rng p (router :: hosts) in
     List.map (fun v -> Kill_node { node = v; at }) killed
 
+(* --- renewal-process generators ------------------------------------------ *)
+
+(* An exponential draw with mean [mean], quantized to the 1/1000 grid so
+   fire times stay small exact rationals. Never zero: timelines need
+   strictly increasing kill/revive times to validate. *)
+let exp_time rng ~mean =
+  let u = Random.State.float rng 1.0 in
+  let x = -.log (1.0 -. u) *. mean in
+  let ticks = int_of_float (Float.round (x *. 1000.0)) in
+  Rat.of_ints (max 1 ticks) 1000
+
+let renewal_link_faults rng (p : Platform.t) ~mtbf ~mttr ~horizon =
+  if not (mtbf > 0.0) then invalid_arg "renewal_link_faults: mtbf must be positive";
+  if not (mttr > 0.0) then invalid_arg "renewal_link_faults: mttr must be positive";
+  List.concat_map
+    (fun l ->
+      let rec cycle t acc =
+        let t_fail = Rat.add t (exp_time rng ~mean:mtbf) in
+        if Rat.(t_fail >= horizon) then List.rev acc
+        else
+          let acc = List.rev_append (kill_link p l ~at:t_fail) acc in
+          let t_up = Rat.add t_fail (exp_time rng ~mean:mttr) in
+          if Rat.(t_up >= horizon) then List.rev acc
+          else cycle t_up (List.rev_append (revive_link p l ~at:t_up) acc)
+      in
+      cycle Rat.zero [])
+    (undirected_links p)
+
+let renewal_node_faults rng (p : Platform.t) ~mtbf ~mttr ~horizon =
+  if not (mtbf > 0.0) then invalid_arg "renewal_node_faults: mtbf must be positive";
+  if not (mttr > 0.0) then invalid_arg "renewal_node_faults: mttr must be positive";
+  let candidates =
+    List.filter (fun v -> v <> p.Platform.source) (Platform.active_nodes p)
+  in
+  List.concat_map
+    (fun v ->
+      let rec cycle t acc =
+        let t_fail = Rat.add t (exp_time rng ~mean:mtbf) in
+        if Rat.(t_fail >= horizon) then List.rev acc
+        else
+          let acc = Kill_node { node = v; at = t_fail } :: acc in
+          let t_up = Rat.add t_fail (exp_time rng ~mean:mttr) in
+          if Rat.(t_up >= horizon) then List.rev acc
+          else cycle t_up (Revive_node { node = v; at = t_up } :: acc)
+      in
+      cycle Rat.zero [])
+    candidates
+
+let flapping_links rng (p : Platform.t) ~links ~flaps ~mean_up ~mean_down ~at =
+  if links < 1 then invalid_arg "flapping_links: links must be >= 1";
+  if flaps < 1 then invalid_arg "flapping_links: flaps must be >= 1";
+  if not (mean_up > 0.0 && mean_down > 0.0) then
+    invalid_arg "flapping_links: mean_up/mean_down must be positive";
+  let pool = undirected_links p in
+  let chosen =
+    Generators.sample_without_replacement rng (min links (List.length pool)) pool
+  in
+  List.concat_map
+    (fun l ->
+      let rec go i t acc =
+        if i = flaps then List.rev acc
+        else
+          let t_fail = Rat.add t (exp_time rng ~mean:mean_up) in
+          let t_up = Rat.add t_fail (exp_time rng ~mean:mean_down) in
+          let acc = List.rev_append (kill_link p l ~at:t_fail) acc in
+          let acc = List.rev_append (revive_link p l ~at:t_up) acc in
+          go (i + 1) t_up acc
+      in
+      go 0 at [])
+    chosen
+
+let diurnal_degradation rng (p : Platform.t) ~waves ~period ~factor ~rate =
+  if waves < 1 then invalid_arg "diurnal_degradation: waves must be >= 1";
+  if Rat.sign period <= 0 then invalid_arg "diurnal_degradation: period must be positive";
+  if Rat.(factor < one) then invalid_arg "diurnal_degradation: factor < 1";
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "diurnal_degradation: rate must be in [0, 1]";
+  let links = undirected_links p in
+  let half = Rat.div period (Rat.of_int 2) in
+  List.concat
+    (List.init waves (fun w ->
+         let start = Rat.mul (Rat.of_int w) period in
+         let stop = Rat.add start half in
+         List.concat_map
+           (fun l ->
+             if Random.State.float rng 1.0 < rate then
+               degrade_link p l ~factor ~at:start @ clear_link p l ~at:stop
+             else [])
+           links))
+
 let describe s =
   let one = function
     | Kill_edge e ->
@@ -257,5 +526,11 @@ let describe s =
     | Degrade_edge d ->
       Printf.sprintf "degrade edge %d->%d by %s at %s" d.src d.dst (Rat.to_string d.factor)
         (Rat.to_string d.at)
+    | Revive_edge e ->
+      Printf.sprintf "revive edge %d->%d at %s" e.src e.dst (Rat.to_string e.at)
+    | Revive_node k -> Printf.sprintf "revive node %d at %s" k.node (Rat.to_string k.at)
+    | Clear_degrade c ->
+      Printf.sprintf "clear degradation on edge %d->%d at %s" c.src c.dst
+        (Rat.to_string c.at)
   in
   match s with [] -> "no faults" | s -> String.concat "; " (List.map one s)

@@ -1,52 +1,84 @@
-(** Timed platform failures injected into schedule replay.
+(** Timed platform failures and revivals injected into schedule replay.
 
     A scenario is a set of fault events, each firing at an absolute time of
-    the unrolled timeline: a link can die ([Kill_edge]), a processor can die
-    with all its ports ([Kill_node]), or a link can degrade — transfers over
-    it take [factor] times longer from then on ([Degrade_edge]). The
-    simulator consults the scenario while replaying a fixed schedule
-    ({!Event_sim.run_with_faults}); the recovery planner consumes the
-    end-state as a {!Repair.damage} once every event has fired. *)
+    the unrolled timeline: a link can die ([Kill_edge]) and later come back
+    ([Revive_edge]), a processor can die with all its ports ([Kill_node])
+    and be repaired ([Revive_node]), a link can degrade — transfers over it
+    take [factor] times longer from then on ([Degrade_edge]) — and the
+    accumulated degradation can clear ([Clear_degrade]). Damage is therefore
+    a {e time-varying} set, not a monotone one: the simulator consults the
+    scenario state at each transfer's start time
+    ({!Event_sim.run_with_faults}), the one-shot recovery planner consumes
+    the end-state ({!damage}), and the chaos soak driver ({!Soak}) walks the
+    whole timeline through {!damage_at}. *)
 
 type event =
   | Kill_edge of { src : int; dst : int; at : Rat.t }
   | Kill_node of { node : int; at : Rat.t }
   | Degrade_edge of { src : int; dst : int; at : Rat.t; factor : Rat.t }
       (** [factor >= 1]: the link's effective capacity divides by it *)
+  | Revive_edge of { src : int; dst : int; at : Rat.t }
+      (** the link returns to service (must follow a kill of that edge) *)
+  | Revive_node of { node : int; at : Rat.t }
+      (** the processor returns with all its ports (must follow its kill) *)
+  | Clear_degrade of { src : int; dst : int; at : Rat.t }
+      (** accumulated degradation factors on the edge reset to 1 *)
 
 type scenario = event list
 
-(** [validate p s] checks node ids in range, killed/degraded edges present
-    in the platform, factors [>= 1] and fire times [>= 0].
+(** [validate p s] checks node ids in range, referenced edges present in the
+    platform, factors [>= 1] and fire times [>= 0].
 
-    Overlap semantics (normative for the simulator and {!damage}):
-    - {e Duplicate kills are idempotent.} Killing the same edge or node
-      twice {e at the same time} is the same event stated twice; it
-      validates, and {!damage} reports the entity dead once. Killing the
-      same entity at two {e different} times asserts it died twice — the
-      scenario is contradictory and is rejected.
-    - {e Degrading a dead edge is a no-op.} A [Degrade_edge] firing
-      at-or-after a kill of that edge (or of an endpoint node) validates
-      but has no effect: the replay consults kills first ({!edge_dead}
-      short-circuits {!slowdown}), and the recovery planner removes dead
-      edges before applying degradation factors. A degrade {e before} the
-      kill applies normally until the kill fires.
+    Overlap and ordering semantics (normative for the simulator, {!damage}
+    and {!damage_at}):
+    - {e Duplicate events are idempotent.} Killing (or reviving) the same
+      entity twice {e at the same time} is the same event stated twice; it
+      validates and counts once.
+    - {e Kill/revive timelines must alternate.} Per entity, the deduplicated
+      kill/revive events sorted by time must read kill, revive, kill, … at
+      strictly increasing times: a kill–revive–kill history is accepted, a
+      revive before any kill is rejected, as are double kills without an
+      intervening revive, double revives, and a kill and revive at the same
+      instant (the state would be ambiguous).
+    - {e Degrading a dead edge is a no-op.} A [Degrade_edge] firing while
+      the edge (or an endpoint node) is dead validates but has no effect:
+      the replay consults kills first ({!edge_dead} short-circuits
+      {!slowdown}), and the recovery planner removes dead edges before
+      applying degradation factors.
     - Degrading the same edge repeatedly is not an overlap at all: the
-      factors compose multiplicatively ({!slowdown}). *)
+      factors compose multiplicatively until a [Clear_degrade] resets them
+      ({!slowdown}). A clear firing together with a degrade at the same
+      instant applies first, so the fresh factor survives. *)
 val validate : Platform.t -> scenario -> (unit, string) result
 
-(** [edge_dead s ~src ~dst ~at] — has a kill (of the edge or an endpoint)
-    fired at or before [at]? *)
+(** [edge_dead s ~src ~dst ~at] — is the edge out of service at time [at]?
+    The {e latest} kill or revive fired at-or-before [at] (of the edge
+    itself or of an endpoint node) decides; with no revivals this reduces to
+    "has a kill fired at or before [at]". *)
 val edge_dead : scenario -> src:int -> dst:int -> at:Rat.t -> bool
 
 (** [slowdown s ~src ~dst ~at] is the product of the degradation factors
-    fired at or before [at] ([Rat.one] when pristine). *)
+    fired at or before [at], restarting from [Rat.one] at each
+    [Clear_degrade] ([Rat.one] when pristine). *)
 val slowdown : scenario -> src:int -> dst:int -> at:Rat.t -> Rat.t
 
-(** [damage s] is the scenario's end state — every event fired — in the
-    recovery planner's vocabulary. Duplicate kills collapse to one entry
-    (first occurrence kept); degradation factors are passed through as-is
-    and compose inside {!Repair.apply_damage}. *)
+(** [damage_at s ~at] is the scenario's state at time [at] in the recovery
+    planner's vocabulary: entities whose latest kill/revive at-or-before
+    [at] is a kill, and edges whose net degradation factor at [at] is above
+    one. Entities appear once, in first-mention order. *)
+val damage_at : scenario -> at:Rat.t -> Repair.damage
+
+(** The event's fire time. *)
+val event_time : event -> Rat.t
+
+(** [scenario_end s] is the latest fire time ([Rat.zero] for the empty
+    scenario). *)
+val scenario_end : scenario -> Rat.t
+
+(** [damage s] is the scenario's end state — [damage_at] at
+    {!scenario_end}. An entity killed and later revived is {e not} damage;
+    with kill-only scenarios this is the union of all kills, exactly the
+    pre-revival behaviour. *)
 val damage : scenario -> Repair.damage
 
 (** [random_link_kills rng p ~rate ~at] kills each {e undirected} link
@@ -108,5 +140,57 @@ val shared_endpoint_kills :
     the full subtree at once). On platforms with no MAN layer it degenerates
     to a single {!shared_endpoint_kills} outage. The sparing rule applies. *)
 val subtree_outage : Random.State.t -> Platform.t -> at:Rat.t -> scenario
+
+(** {2 Renewal-process generators}
+
+    Fail/repair processes for the chaos soak driver ({!Soak}): components
+    die and come back over a long horizon, so damage breathes instead of
+    accumulating. All fire times are drawn on a 1/1000 grid (small exact
+    rationals) and every generated scenario validates by construction. *)
+
+(** [renewal_link_faults rng p ~mtbf ~mttr ~horizon] runs an independent
+    alternating renewal process on every undirected link: up-times are
+    exponential with mean [mtbf], down-times exponential with mean [mttr],
+    truncated at [horizon]. A link whose repair would land past the horizon
+    stays down (end-state damage). *)
+val renewal_link_faults :
+  Random.State.t -> Platform.t -> mtbf:float -> mttr:float -> horizon:Rat.t -> scenario
+
+(** [renewal_node_faults rng p ~mtbf ~mttr ~horizon] — the same renewal
+    process on every active non-source node. No sparing rule: over a long
+    horizon the damage is transient, and the soak driver is expected to ride
+    out (and report) windows where every target is down. *)
+val renewal_node_faults :
+  Random.State.t -> Platform.t -> mtbf:float -> mttr:float -> horizon:Rat.t -> scenario
+
+(** [flapping_links rng p ~links ~flaps ~mean_up ~mean_down ~at] draws
+    [links] distinct undirected links and cycles each through [flaps]
+    kill/revive pairs starting at [at]: up-times exponential with mean
+    [mean_up], down-times with mean [mean_down]. Short means produce the
+    BGP-style flapping that the soak controller's damping exists to absorb.
+    Every flapped link ends alive. *)
+val flapping_links :
+  Random.State.t ->
+  Platform.t ->
+  links:int ->
+  flaps:int ->
+  mean_up:float ->
+  mean_down:float ->
+  at:Rat.t ->
+  scenario
+
+(** [diurnal_degradation rng p ~waves ~period ~factor ~rate] models daily
+    congestion waves: for each of [waves] consecutive periods, each
+    undirected link independently degrades by [factor] (probability [rate])
+    at the period start and clears at its midpoint — load rises, then
+    ebbs. End-state damage is empty. *)
+val diurnal_degradation :
+  Random.State.t ->
+  Platform.t ->
+  waves:int ->
+  period:Rat.t ->
+  factor:Rat.t ->
+  rate:float ->
+  scenario
 
 val describe : scenario -> string

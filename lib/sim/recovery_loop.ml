@@ -66,10 +66,7 @@ type outcome = {
   sim_time : Rat.t;
 }
 
-let fault_time = function
-  | Fault.Kill_edge { at; _ } -> at
-  | Fault.Kill_node { at; _ } -> at
-  | Fault.Degrade_edge { at; _ } -> at
+let fault_time = Fault.event_time
 
 let rec int_pow b = function 0 -> 1 | n -> b * int_pow b (n - 1)
 
@@ -150,7 +147,7 @@ let run_validated ~now ~pol ~(planner : planner) (p : Platform.t)
             | Error e -> [ ("outcome", Trace.Str e) ])
           (fun () ->
             if incremental then
-              Repair.plan_incremental ~fallback:false
+              Repair.plan_incremental ~now ~fallback:false
                 ~retention_floor:pol.patch_retention_floor ~before:sched plat damage
             else planner ~before:sched plat damage)
       in
@@ -261,9 +258,17 @@ let run_validated ~now ~pol ~(planner : planner) (p : Platform.t)
       else degrade [] surviving full_err
   end
 
-let run ?(now = Unix.gettimeofday) ?policy
-    ?(planner : planner = fun ?before p d -> Repair.plan ?before p d)
+let run ?(now = Unix.gettimeofday) ?policy ?(planner : planner option)
     (p : Platform.t) (sched : Schedule.t) (scenario : Fault.scenario) =
+  (* The default planner threads the injected clock into Repair.plan, so a
+     fake-clock run never reads the wall clock anywhere on the re-plan path
+     (replan_seconds included) — a caller-supplied planner owns its own
+     clock. *)
+  let planner =
+    match planner with
+    | Some f -> f
+    | None -> fun ?before p d -> Repair.plan ~now ?before p d
+  in
   let pol = match policy with Some pol -> pol | None -> default_policy p in
   match validate_policy p pol with
   | Error e -> Error e

@@ -101,8 +101,11 @@ type outcome = {
     ({!Repair.plan_incremental} with [fallback:false]) and the injected
     [planner] is only consulted on escalation and in degraded mode. [now]
     (default [Unix.gettimeofday]) is the wall clock the per-attempt deadline
-    is measured against — tests inject a fake clock to provoke deadline
-    overruns deterministically instead of sleeping under a tight deadline.
+    is measured against, and the default planner threads it into
+    {!Repair.plan} so every timing in the loop reads the same injected
+    clock — tests (and the {!Soak} driver) inject a fake clock to make
+    runs fully deterministic, e.g. to provoke deadline overruns without
+    sleeping under a tight deadline.
     Every attempt's wall-clock cost lands in the [recovery.replan_seconds]
     histogram. *)
 val run :

@@ -16,6 +16,7 @@ let () =
       ("heuristic_schedules", Test_heuristic_schedules.suite);
       ("schedule", Test_schedule.suite);
       ("resilience", Test_resilience.suite);
+      ("soak", Test_soak.suite);
       ("robust", Test_robust.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);

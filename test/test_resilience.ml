@@ -11,6 +11,9 @@ let two_relay_set () =
 
 let two_relay_sched () = Schedule.of_tree_set (two_relay_set ())
 
+let tiers_platform seed =
+  Tiers.generate (Random.State.make [| seed; 6121 |]) Tiers.small_params ~n_targets:6
+
 (* --- faulty replay ----------------------------------------------------- *)
 
 let test_no_faults_is_lossless () =
@@ -166,6 +169,152 @@ let test_fault_overlap_semantics () =
   in
   Alcotest.(check (list (pair int int))) "dead edges deduped" [ (0, 1) ] d.Repair.dead_edges;
   Alcotest.(check (list int)) "dead nodes deduped" [ 1 ] d.Repair.dead_nodes
+
+let test_revival_ordering () =
+  (* The kill/revive timeline of one entity must alternate: kill, revive,
+     kill, ... at strictly increasing times. *)
+  let p = Paper_platforms.two_relay () in
+  let ok s = match Fault.validate p s with Ok () -> () | Error e -> Alcotest.fail e in
+  let bad s =
+    match Fault.validate p s with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "scenario should have been rejected"
+  in
+  let ke at = Fault.Kill_edge { src = 0; dst = 1; at = Rat.of_int at } in
+  let re at = Fault.Revive_edge { src = 0; dst = 1; at = Rat.of_int at } in
+  let kn at = Fault.Kill_node { node = 1; at = Rat.of_int at } in
+  let rn at = Fault.Revive_node { node = 1; at = Rat.of_int at } in
+  (* a revive before any kill is meaningless *)
+  bad [ re 1 ];
+  bad [ rn 1 ];
+  bad [ re 1; ke 2 ];
+  (* kill-revive-kill is the canonical flap; order in the list is irrelevant *)
+  ok [ ke 1; re 2; ke 3 ];
+  ok [ ke 3; re 2; ke 1 ];
+  ok [ kn 1; rn 2; kn 3; rn 4 ];
+  (* double kill without an intervening revive, and double revive *)
+  bad [ ke 1; ke 2 ];
+  bad [ ke 1; re 2; re 3 ];
+  bad [ kn 1; rn 2; rn 3 ];
+  (* a kill and revive at the same instant is ambiguous *)
+  bad [ ke 1; re 1 ];
+  bad [ kn 2; rn 2 ];
+  (* duplicate same-time events are idempotent, also for revivals *)
+  ok [ ke 1; ke 1; re 2; re 2 ];
+  (* Clear_degrade needs no preceding degrade: clearing a pristine edge is
+     a validating no-op *)
+  ok [ Fault.Clear_degrade { src = 0; dst = 1; at = Rat.one } ]
+
+let test_time_varying_predicates () =
+  (* edge_dead / slowdown / damage_at follow the latest-event-wins rule. *)
+  let s =
+    [
+      Fault.Kill_edge { src = 0; dst = 1; at = Rat.one };
+      Fault.Revive_edge { src = 0; dst = 1; at = Rat.of_int 3 };
+      Fault.Kill_node { node = 2; at = Rat.of_int 2 };
+      Fault.Revive_node { node = 2; at = Rat.of_int 4 };
+      Fault.Degrade_edge { src = 1; dst = 3; at = Rat.one; factor = Rat.of_int 2 };
+      Fault.Degrade_edge { src = 1; dst = 3; at = Rat.of_int 2; factor = Rat.of_int 3 };
+      Fault.Clear_degrade { src = 1; dst = 3; at = Rat.of_int 5 };
+    ]
+  in
+  let dead at = Fault.edge_dead s ~src:0 ~dst:1 ~at:(Rat.of_int at) in
+  Alcotest.(check bool) "alive before the kill" false (dead 0);
+  Alcotest.(check bool) "dead at the kill instant" true (dead 1);
+  Alcotest.(check bool) "still dead mid-window" true (dead 2);
+  Alcotest.(check bool) "alive again at the revival" false (dead 3);
+  (* a dead endpoint node kills the edge too, until the node revives *)
+  let via_node at = Fault.edge_dead s ~src:0 ~dst:2 ~at:(Rat.of_int at) in
+  Alcotest.(check bool) "edge up while the endpoint lives" false (via_node 1);
+  Alcotest.(check bool) "endpoint death takes the edge down" true (via_node 2);
+  Alcotest.(check bool) "endpoint revival restores the edge" false (via_node 4);
+  (* degradation composes multiplicatively and resets at Clear_degrade *)
+  let slow at = Fault.slowdown s ~src:1 ~dst:3 ~at:(Rat.of_int at) in
+  Alcotest.(check bool) "pristine before" (Rat.equal Rat.one (slow 0)) true;
+  Alcotest.(check bool) "first factor" (Rat.equal (Rat.of_int 2) (slow 1)) true;
+  Alcotest.(check bool) "factors compose" (Rat.equal (Rat.of_int 6) (slow 2)) true;
+  Alcotest.(check bool) "clear resets" (Rat.equal Rat.one (slow 5)) true;
+  (* damage_at snapshots the same state in the planner's vocabulary *)
+  let d2 = Fault.damage_at s ~at:(Rat.of_int 2) in
+  Alcotest.(check (list (pair int int))) "edge dead mid-window" [ (0, 1) ] d2.Repair.dead_edges;
+  Alcotest.(check (list int)) "node dead mid-window" [ 2 ] d2.Repair.dead_nodes;
+  Alcotest.(check bool) "degradation visible mid-window" true (d2.Repair.degraded <> []);
+  (* the end state has everything healed: kill-then-revive is not damage *)
+  let d_end = Fault.damage s in
+  Alcotest.(check bool) "end state pristine" true (Repair.damage_equal d_end Repair.no_damage)
+
+let test_revival_replay () =
+  (* Kill the leaf edge 1->3 for the middle third of the horizon. Under the
+     progress model a revived edge resumes with its oldest unsent message:
+     on a leaf the retransmitted backlog still reaches the target (the
+     relay has held every copy for ages), so only the messages that never
+     fit before the horizon are lost — strictly fewer than a permanent
+     kill, strictly more than none. (An interior edge would not show this:
+     its late retransmissions miss their downstream forwarding slots and
+     the cascade loses the same tail either way.) *)
+  let sched = two_relay_sched () in
+  let per k = Rat.mul (Rat.of_int k) sched.Schedule.period in
+  let windowed =
+    Event_sim.run_with_faults sched
+      ~faults:
+        [
+          Fault.Kill_edge { src = 1; dst = 3; at = per 4 };
+          Fault.Revive_edge { src = 1; dst = 3; at = per 8 };
+        ]
+      ~periods:12
+  in
+  let permanent =
+    Event_sim.run_with_faults sched
+      ~faults:[ Fault.Kill_edge { src = 1; dst = 3; at = per 4 } ]
+      ~periods:12
+  in
+  Alcotest.(check bool) "the dead window loses something" true
+    (windowed.Event_sim.f_losses <> []);
+  Alcotest.(check bool) "revival loses strictly less than a permanent kill" true
+    (List.length windowed.Event_sim.f_losses < List.length permanent.Event_sim.f_losses);
+  Alcotest.(check bool) "deliveries resume after the revival" true
+    (windowed.Event_sim.f_delivered > permanent.Event_sim.f_delivered)
+
+let test_renewal_generators_validate () =
+  (* Every renewal-process generator must produce scenarios that validate by
+     construction, with fire times inside the horizon, and with the
+     documented end state. *)
+  let horizon = Rat.of_int 300 in
+  for seed = 1 to 10 do
+    let rng = Random.State.make [| seed; 9181 |] in
+    let p = tiers_platform seed in
+    let check name s =
+      (match Fault.validate p s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d, %s: %s" seed name e);
+      List.iter
+        (fun ev ->
+          let t = Fault.event_time ev in
+          if Rat.compare t Rat.zero < 0 || Rat.compare t horizon > 0 then
+            Alcotest.failf "seed %d, %s: event outside [0, horizon]" seed name)
+        s;
+      s
+    in
+    ignore (check "renewal links" (Fault.renewal_link_faults rng p ~mtbf:40.0 ~mttr:8.0 ~horizon));
+    ignore (check "renewal nodes" (Fault.renewal_node_faults rng p ~mtbf:60.0 ~mttr:10.0 ~horizon));
+    let flap =
+      check "flapping"
+        (Fault.flapping_links rng p ~links:3 ~flaps:5 ~mean_up:20.0 ~mean_down:4.0 ~at:Rat.zero)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: every flapped link ends alive" seed)
+      true
+      (Repair.damage_equal (Fault.damage flap) Repair.no_damage);
+    let diurnal =
+      check "diurnal"
+        (Fault.diurnal_degradation rng p ~waves:3 ~period:(Rat.of_int 80)
+           ~factor:(Rat.of_int 2) ~rate:0.5)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: diurnal waves ebb completely" seed)
+      true
+      (Repair.damage_equal (Fault.damage diurnal) Repair.no_damage)
+  done
 
 (* --- hand-corrupted schedules trip the replay detectors --------------- *)
 
@@ -466,8 +615,6 @@ let test_incremental_matches_full_plan () =
 
 (* --- correlated storm generators --------------------------------------- *)
 
-let tiers_platform seed = Tiers.generate (Random.State.make [| seed; 6121 |]) Tiers.small_params ~n_targets:6
-
 let dead_nodes_of s =
   List.filter_map (function Fault.Kill_node { node; _ } -> Some node | _ -> None) s
 
@@ -497,11 +644,7 @@ let test_random_burst_shape () =
       (List.exists (fun t -> not (List.mem t nodes)) p.Platform.targets);
     List.iter
       (fun ev ->
-        let t =
-          match ev with
-          | Fault.Kill_edge { at; _ } | Fault.Kill_node { at; _ } | Fault.Degrade_edge { at; _ }
-            -> at
-        in
+        let t = Fault.event_time ev in
         Alcotest.(check bool) "fires inside [at, at+window]" true
           (Rat.compare t at >= 0 && Rat.compare t (Rat.add at window) <= 0))
       s
@@ -556,6 +699,10 @@ let suite =
     ("faulty replay: degradation milder than kill", `Quick, test_degrade_slows_but_delivers_late);
     ("fault scenarios validated", `Quick, test_fault_validation);
     ("fault overlap semantics", `Quick, test_fault_overlap_semantics);
+    ("revival: kill/revive ordering rules", `Quick, test_revival_ordering);
+    ("revival: time-varying predicates", `Quick, test_time_varying_predicates);
+    ("revival: windowed kill in the replay", `Quick, test_revival_replay);
+    ("renewal generators validate by construction", `Quick, test_renewal_generators_validate);
     ("detector: one-port overlap", `Quick, test_detects_port_overlap);
     ("detector: forwarding before reception", `Quick, test_detects_causality_violation);
     ("detector: dropped delivery", `Quick, test_detects_dropped_delivery);
