@@ -718,6 +718,7 @@ let robust () =
    latency includes the full re-plan it escalated to). *)
 let storms () =
   banner "R3 / storms — incremental repair vs full re-plan under correlated outages";
+  let lp_before = Lp_counters.snapshot () in
   let seeds = max 1 !trials in
   let full_times = ref [] and inc_times = ref [] in
   let full_constr = ref [] and inc_constr = ref [] in
@@ -847,15 +848,21 @@ let storms () =
     (mean !full_rets) (mean !inc_rets) !max_shortfall;
   Printf.printf "online recovery: %d recovered, %d degraded, %d fallback\n" !recovered
     !degraded !fallback_final;
+  let lp_d = Lp_counters.since lp_before in
+  Printf.printf "warm starts:     %d hits across %d float solves (survivor LBs seeded from the nominal basis)\n"
+    lp_d.Lp_counters.warm_hits lp_d.Lp_counters.float_solves;
   let ok_speedup = !patched > 0 && speedup >= 3.0 in
   let ok_retention = !patched > 0 && !max_shortfall <= 0.02 +. 1e-9 in
   let ok_fallback = !forced >= 1 in
+  let ok_warm = lp_d.Lp_counters.warm_hits > 0 in
   Printf.printf "shape check: incremental repair >= 3x faster than full re-plan (mean) — %s\n"
     (if ok_speedup then "OK" else "MISMATCH");
   Printf.printf "shape check: every patched storm within 2%% of full re-plan retention — %s\n"
     (if ok_retention then "OK" else "MISMATCH");
   Printf.printf "shape check: fallback leg exercised by the sweep — %s\n"
     (if ok_fallback then "OK" else "MISMATCH");
+  Printf.printf "shape check: warm starts engaged during repair re-planning — %s\n"
+    (if ok_warm then "OK" else "MISMATCH");
   ensure_out_dir ();
   let buf = Buffer.create 1024 in
   let fld ?(indent = "  ") last name v =
@@ -885,6 +892,7 @@ let storms () =
   fld false "retention_full_mean" (Printf.sprintf "%.4f" (mean !full_rets));
   fld false "retention_incremental_mean" (Printf.sprintf "%.4f" (mean !inc_rets));
   fld false "retention_max_shortfall" (Printf.sprintf "%.4f" !max_shortfall);
+  fld false "warm_hits" (string_of_int lp_d.Lp_counters.warm_hits);
   Buffer.add_string buf "  \"online_recovery\": {\n";
   fld ~indent:"    " false "recovered" (string_of_int !recovered);
   fld ~indent:"    " false "degraded" (string_of_int !degraded);
@@ -893,7 +901,8 @@ let storms () =
   Buffer.add_string buf "  \"shape\": {\n";
   fld ~indent:"    " false "speedup_3x" (if ok_speedup then "true" else "false");
   fld ~indent:"    " false "retention_within_2pct" (if ok_retention then "true" else "false");
-  fld ~indent:"    " true "fallback_exercised" (if ok_fallback then "true" else "false");
+  fld ~indent:"    " false "fallback_exercised" (if ok_fallback then "true" else "false");
+  fld ~indent:"    " true "warm_starts_engaged" (if ok_warm then "true" else "false");
   Buffer.add_string buf "  }\n}\n";
   let fname = bench_json_file 6 in
   let oc = open_out fname in
@@ -1195,6 +1204,68 @@ let pseries () =
     (if par.p1_hits > 0 then "OK" else "MISMATCH");
   Printf.printf "shape check: parallel results bit-identical to sequential — %s\n"
     (if identical then "OK" else "MISMATCH");
+  (* O3 — warm-vs-cold survivor LB leg: every single-failure survivor
+     re-solved twice. Cold is the full ablation (no basis chaining, no
+     seed); warm threads the nominal optimal basis — whose row names also
+     re-materialize the nominal cut pool — into each survivor solve. The
+     LP-solve cache is disabled for both legs so the numbers measure the
+     engines, not the memo table. *)
+  Lp_cache.set_enabled false;
+  let nominal_basis = Option.bind (Formulations.multicast_lb_warm ~chain:true p) snd in
+  let survivors =
+    List.filter_map
+      (fun f ->
+        match Robust_plan.prepare ~jobs:1 p [ f ] with
+        | [ pf ] -> Result.to_option pf.Robust_plan.pf_survivor
+        | _ -> None)
+      (Robust_plan.single_failures p)
+  in
+  let survivor_leg warm chain =
+    let before = Lp_counters.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let objs =
+      List.map
+        (fun s ->
+          Option.map
+            (fun ((sol : Formulations.solution), _) -> sol.Formulations.throughput)
+            (Formulations.multicast_lb_warm ?warm ~chain s))
+        survivors
+    in
+    (objs, Lp_counters.since before, Unix.gettimeofday () -. t0)
+  in
+  let cold_objs, cold_d, cold_secs = survivor_leg None false in
+  let warm_objs, warm_d, warm_secs = survivor_leg nominal_basis true in
+  Lp_cache.set_enabled true;
+  let warm_agree =
+    List.for_all2
+      (fun c w ->
+        match (c, w) with
+        | Some c, Some w -> abs_float (c -. w) <= 1e-5 *. (1.0 +. abs_float c)
+        | None, None -> true
+        | _ -> false)
+      cold_objs warm_objs
+  in
+  let pivot_ratio =
+    if warm_d.Lp_counters.pivots > 0 then
+      float_of_int cold_d.Lp_counters.pivots /. float_of_int warm_d.Lp_counters.pivots
+    else nan
+  in
+  Printf.printf "warm-vs-cold survivor LBs (%d survivors):\n" (List.length survivors);
+  Printf.printf "%-28s %10s %10s %10s %10s\n" "leg" "seconds" "LP solves" "pivots"
+    "warm hits";
+  let wleg name (d : Lp_counters.snapshot) secs =
+    Printf.printf "%-28s %10.3f %10d %10d %10d\n" name secs d.Lp_counters.float_solves
+      d.Lp_counters.pivots d.Lp_counters.warm_hits
+  in
+  wleg "cold (no chain, no seed)" cold_d cold_secs;
+  wleg "warm (nominal basis)" warm_d warm_secs;
+  Printf.printf "warm-vs-cold pivot ratio: %.2fx\n" pivot_ratio;
+  Printf.printf "shape check: warm-vs-cold pivot reduction at least 5x — %s\n"
+    (if pivot_ratio >= 5.0 then "OK" else "MISMATCH");
+  Printf.printf "shape check: warm starts engaged on the warm leg — %s\n"
+    (if warm_d.Lp_counters.warm_hits > 0 then "OK" else "MISMATCH");
+  Printf.printf "shape check: warm survivor LBs agree with cold — %s\n"
+    (if warm_agree then "OK" else "MISMATCH");
   (* BENCH_3.json: machine-readable summary for CI artifacts. *)
   ensure_out_dir ();
   let buf = Buffer.create 1024 in
@@ -1224,6 +1295,11 @@ let pseries () =
   leg_json "parallel" par false;
   fld false "speedup" (Printf.sprintf "%.4f" speedup);
   fld false "cache_hit_rate" (Printf.sprintf "%.4f" hit_rate);
+  fld false "warm_survivors" (string_of_int (List.length survivors));
+  fld false "warm_cold_pivots" (string_of_int cold_d.Lp_counters.pivots);
+  fld false "warm_warm_pivots" (string_of_int warm_d.Lp_counters.pivots);
+  fld false "warm_pivot_ratio" (Printf.sprintf "%.4f" pivot_ratio);
+  fld false "warm_hits" (string_of_int warm_d.Lp_counters.warm_hits);
   fld true "bit_identical" (if identical then "true" else "false");
   Buffer.add_string buf "}\n";
   let fname = bench_json_file 3 in

@@ -88,10 +88,12 @@ let solve_sum_colgen (p : Platform.t) groups =
       match Solver_chain.solve_with_fallback m with
       | Solver_chain.Infeasible | Solver_chain.Unbounded -> None
       | Solver_chain.Optimal (sol, `Exact) ->
-        (* Exact fallback carries no duals: stop pricing and keep the
-           current master optimum rather than failing the bound. *)
+        (* Exact fallback means both float engines had trouble on this
+           master: accept its optimum rather than keep pricing on a model
+           that is numerically shaky (the exact duals exist but one
+           degenerate master rarely prices a useful column). *)
         Some (cols, y, sol)
-      | Solver_chain.Optimal (sol, `Float) ->
+      | Solver_chain.Optimal (sol, (`Float | `Revised)) ->
         if round >= 300 then Some (cols, y, sol)
         else begin
           (* Duals: pi_out/pi_in per node (port rows), mu per group (value
@@ -322,7 +324,9 @@ let solve_sum (p : Platform.t) groups =
    every LP tiny (one variable per edge).                               *)
 (* ------------------------------------------------------------------ *)
 
-let solve_max ?(two_sided = true) (p : Platform.t) =
+type warm_basis = Revised_simplex.warm
+
+let solve_max ?(two_sided = true) ?warm ?(chain = true) (p : Platform.t) =
   let g = p.Platform.graph in
   let source = p.Platform.source in
   let targets = p.Platform.targets in
@@ -354,6 +358,45 @@ let solve_max ?(two_sided = true) (p : Platform.t) =
        each target. *)
     add_cut out_edge_ids.(source);
     List.iter (fun t -> add_cut in_edge_ids.(t)) targets;
+    (* Warm cut-pool import: the warm basis carries the source model's row
+       names, and a cut row's name ("cut:u>v,...") is a complete, portable
+       serialization of the cut itself. Re-materializing those cuts up
+       front lets round 0 build the producer's final model directly, so
+       the warm basis re-solves it in a handful of dual pivots instead of
+       replaying the whole cut-generation loop against a trivial pool.
+       Pairs whose edge no longer exists are dropped — a node-partition
+       cut stays valid under edge deletion, fewer crossing edges only
+       tighten it — and cuts with no surviving edges are skipped rather
+       than imported as an empty (rho <= 0) row. *)
+    (match warm with
+    | None -> ()
+    | Some w ->
+      let edge_id = Hashtbl.create ne in
+      Array.iteri
+        (fun e ({ Digraph.src; dst; _ } : Digraph.edge) ->
+          Hashtbl.replace edge_id (src, dst) e)
+        edges;
+      Array.iter
+        (fun nm ->
+          if String.length nm > 4 && String.sub nm 0 4 = "cut:" then begin
+            let ids =
+              List.filter_map
+                (fun pair ->
+                  match String.index_opt pair '>' with
+                  | None -> None
+                  | Some k -> (
+                    match
+                      ( int_of_string_opt (String.sub pair 0 k),
+                        int_of_string_opt
+                          (String.sub pair (k + 1) (String.length pair - k - 1)) )
+                    with
+                    | Some u, Some v -> Hashtbl.find_opt edge_id (u, v)
+                    | _ -> None))
+                (String.split_on_char ',' (String.sub nm 4 (String.length nm - 4)))
+            in
+            if ids <> [] then add_cut ids
+          end)
+        w.Revised_simplex.wrows);
     let cap_edges values nv =
       Array.mapi
         (fun e ({ Digraph.src; dst; _ } : Digraph.edge) ->
@@ -362,12 +405,32 @@ let solve_max ?(two_sided = true) (p : Platform.t) =
     in
     let rounds_used = ref 0 in
     let best_seen = ref None in
+    (* Warm-start state: the basis of the previous round's optimum (or the
+       caller's, round 0). Cut rows only ever relax the previous optimum's
+       dual feasibility — a new violated row enters with its slack basic —
+       so chaining turns each round after the first into a short dual
+       re-solve. All names are stable functions of the platform (variables
+       by edge endpoints, rows via ?name below), which is what makes the
+       basis portable both round-to-round and across survivor platforms. *)
+    let warm_ref = ref warm in
     let rec iterate round =
       rounds_used := round;
       (* Fresh model: ports + all pooled cuts. *)
       let m = Lp_model.create () in
       let rho = Lp_model.add_var m "rho" in
-      let nv = Array.init ne (fun e -> Lp_model.add_var m (Printf.sprintf "n_e%d" e)) in
+      let nv =
+        Array.init ne (fun e ->
+            Lp_model.add_var m
+              (Printf.sprintf "n_%d_%d" edges.(e).Digraph.src edges.(e).Digraph.dst))
+      in
+      let cut_name cut =
+        let pairs =
+          List.sort compare
+            (List.map (fun e -> (edges.(e).Digraph.src, edges.(e).Digraph.dst)) cut)
+        in
+        "cut:"
+        ^ String.concat "," (List.map (fun (u, v) -> Printf.sprintf "%d>%d" u v) pairs)
+      in
       let port_row ids =
         List.map (fun e -> (Rat.to_float edges.(e).Digraph.cost, nv.(e))) ids
       in
@@ -375,38 +438,45 @@ let solve_max ?(two_sided = true) (p : Platform.t) =
          (hundreds of near-parallel cut rows); nudging each right-hand side
          by a distinct tiny slack breaks the ties that make Dantzig crawl.
          Every nudge relaxes, so feasibility is preserved and the optimum
-         moves by O(1e-7). *)
-      let nudge = ref 0 in
-      let eps_of () =
-        incr nudge;
-        1e-8 *. float_of_int (1 + (!nudge * 7 mod 97))
-      in
+         moves by O(1e-7). The nudge is keyed to the row's {e name} (a
+         stable function of the platform), not its insertion order: a row
+         must keep its rhs bit-for-bit across cut rounds and across
+         nominal/survivor models, or every warm-started re-solve would see
+         each reordered row as a fresh noise-level primal violation and
+         the dual simplex would pivot once per row to fix pure noise. *)
+      let eps_of name = 1e-8 *. float_of_int (1 + (Hashtbl.hash name mod 97)) in
       for j = 0 to Digraph.n_nodes g - 1 do
         let out = port_row out_edge_ids.(j) in
-        if out <> [] then Lp_model.add_constraint m out Le (1.0 +. eps_of ());
+        let out_name = Printf.sprintf "out%d" j in
+        if out <> [] then
+          Lp_model.add_constraint m ~name:out_name out Le (1.0 +. eps_of out_name);
         let inp = port_row in_edge_ids.(j) in
-        if inp <> [] then Lp_model.add_constraint m inp Le (1.0 +. eps_of ())
+        let in_name = Printf.sprintf "in%d" j in
+        if inp <> [] then
+          Lp_model.add_constraint m ~name:in_name inp Le (1.0 +. eps_of in_name)
       done;
       List.iter
         (fun cut ->
-          Lp_model.add_constraint m
+          let name = cut_name cut in
+          Lp_model.add_constraint m ~name
             ((-1.0, rho) :: List.map (fun e -> (1.0, nv.(e))) cut)
-            Ge (-.eps_of ()))
+            Ge (-.eps_of name))
         !cuts;
       Lp_model.set_objective m ~maximize:true [ (1.0, rho) ];
-      match Solver_chain.solve_with_fallback m with
-      | Solver_chain.Infeasible | Solver_chain.Unbounded -> None
-      | Solver_chain.Optimal (sol, _) ->
+      match Solver_chain.solve_warm ?warm:!warm_ref m with
+      | (Solver_chain.Infeasible | Solver_chain.Unbounded), _ -> None
+      | Solver_chain.Optimal (sol, _), basis ->
+        if chain && basis <> None then warm_ref := basis;
         (* Track the tightest relaxation seen: rho must be non-increasing as
            cuts accumulate; a numerical wobble upward is ignored in favour
            of the stored best. *)
         let keep =
           match !best_seen with
-          | Some (r_best, _, _, _) when r_best <= sol.Simplex.values.(rho) -> !best_seen
-          | _ -> Some (sol.Simplex.values.(rho), sol, rho, nv)
+          | Some (r_best, _, _, _, _) when r_best <= sol.Simplex.values.(rho) -> !best_seen
+          | _ -> Some (sol.Simplex.values.(rho), sol, rho, nv, basis)
         in
         best_seen := keep;
-        if round >= 400 then Option.map (fun (_, s, r, n) -> (s, r, n)) !best_seen
+        if round >= 400 then Option.map (fun (_, s, r, n, b) -> (s, r, n, b)) !best_seen
         else begin
           let r = sol.Simplex.values.(rho) in
           let caps = cap_edges sol.Simplex.values nv in
@@ -449,12 +519,12 @@ let solve_max ?(two_sided = true) (p : Platform.t) =
              pooled cut, which the stored minimum (an earlier round plus
              perturbation noise) need not. best_seen only serves the
              round-cap fallback. *)
-          if !violated = 0 then Some (sol, rho, nv) else iterate (round + 1)
+          if !violated = 0 then Some (sol, rho, nv, basis) else iterate (round + 1)
         end
     in
     match iterate 0 with
     | None -> None
-    | Some (sol, rho, nv) ->
+    | Some (sol, rho, nv, basis) ->
       let throughput = sol.Simplex.values.(rho) in
       if throughput < eps then None
       else begin
@@ -496,7 +566,8 @@ let solve_max ?(two_sided = true) (p : Platform.t) =
         in
         Some
           ( { throughput; period = 1.0 /. throughput; node_inflow; edge_usage; commodity_flows },
-            !rounds_used )
+            !rounds_used,
+            basis )
       end
   end
 
@@ -528,20 +599,32 @@ let multicast_ub_colgen (p : Platform.t) =
   formulation_span "formulations.multicast_ub_colgen" p (fun () ->
       solve_sum_colgen p (List.map (fun t -> (t, [ p.Platform.source ])) p.Platform.targets))
 
-let solve_max_counted ?two_sided p =
-  let r = solve_max ?two_sided p in
-  (match r with Some (_, rounds) -> Metrics.observe lb_rounds (float_of_int rounds) | None -> ());
+let solve_max_counted ?two_sided ?warm ?chain p =
+  let r = solve_max ?two_sided ?warm ?chain p in
+  (match r with
+  | Some (_, rounds, _) -> Metrics.observe lb_rounds (float_of_int rounds)
+  | None -> ());
   r
 
-let multicast_lb (p : Platform.t) =
-  formulation_span "formulations.multicast_lb" p (fun () ->
-      Option.map fst (solve_max_counted p))
+let multicast_lb_warm ?warm ?chain (p : Platform.t) =
+  Trace.with_span ~cat:"lp" "formulations.multicast_lb"
+    ~result:(fun r ->
+      ("nodes", Trace.Int (Platform.n_nodes p))
+      :: ("targets", Trace.Int (List.length p.Platform.targets))
+      ::
+      (match r with
+      | None -> [ ("feasible", Trace.Bool false) ]
+      | Some ((s : solution), _) -> [ ("throughput", Trace.Float s.throughput) ]))
+    (fun () -> Option.map (fun (s, _, b) -> (s, b)) (solve_max_counted ?warm ?chain p))
+
+let multicast_lb (p : Platform.t) = Option.map fst (multicast_lb_warm p)
 
 let broadcast_eb (p : Platform.t) =
   formulation_span "formulations.broadcast_eb" p (fun () ->
-      Option.map fst (solve_max_counted (Platform.broadcast_of p)))
+      Option.map (fun (s, _, _) -> s) (solve_max_counted (Platform.broadcast_of p)))
 
-let multicast_lb_stats ?two_sided (p : Platform.t) = solve_max_counted ?two_sided p
+let multicast_lb_stats ?two_sided (p : Platform.t) =
+  Option.map (fun (s, r, _) -> (s, r)) (solve_max_counted ?two_sided p)
 
 let multisource_ub_impl (p : Platform.t) ~sources =
   (match sources with

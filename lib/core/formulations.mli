@@ -51,6 +51,27 @@ val multicast_ub : Platform.t -> solution option
     must dominate the anti-degeneracy rhs perturbation). *)
 val multicast_lb : Platform.t -> solution option
 
+(** A simplex basis by column name ({!Revised_simplex.warm}), as produced
+    by one Multicast-LB solve and consumed by a related one. The LB
+    model's names are stable functions of the platform — variables keyed
+    by edge endpoints, port rows by node id, cut rows by their edge set —
+    so a basis ports round-to-round inside the cut loop and from a
+    nominal platform to its survivors. *)
+type warm_basis = Revised_simplex.warm
+
+(** [multicast_lb_warm ?warm ?chain p] is {!multicast_lb} returning the
+    optimal basis of the final cut-loop LP (when the revised engine
+    produced it), and optionally seeded with a basis from a related
+    solve. [chain] (default [true]) controls round-to-round basis reuse
+    inside the cut loop; [~chain:false] solves every round cold — the
+    ablation baseline of the bench's warm-vs-cold leg. Warm starts never
+    change the result, only the pivot count. *)
+val multicast_lb_warm :
+  ?warm:warm_basis ->
+  ?chain:bool ->
+  Platform.t ->
+  (solution * warm_basis option) option
+
 (** [broadcast_eb p] is [multicast_lb] on the broadcast version of [p]
     (every non-source node a target). *)
 val broadcast_eb : Platform.t -> solution option

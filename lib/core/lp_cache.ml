@@ -41,7 +41,11 @@ let fingerprint (p : Platform.t) =
   Buffer.contents buf
 
 let lock = Mutex.create ()
-let lb_table : (string, Formulations.solution option) Hashtbl.t = Hashtbl.create 64
+
+let lb_table :
+    (string, (Formulations.solution * Formulations.warm_basis option) option) Hashtbl.t =
+  Hashtbl.create 64
+
 let ub_table : (string, Formulations.solution option) Hashtbl.t = Hashtbl.create 64
 
 let with_lock f =
@@ -75,7 +79,21 @@ let cached ~kind table solve ?(caller = "unknown") p =
              with_lock (fun () -> Hashtbl.replace table key sol);
              (sol, "miss")))
 
-let multicast_lb ?caller p = cached ~kind:"lb" lb_table Formulations.multicast_lb ?caller p
+(* The LB table stores the solution together with the optimal basis, so a
+   hit can warm-start future related solves just like a fresh solve could.
+   [?warm] only matters on a miss. On degenerate LPs it can steer which
+   optimal vertex comes back, so the cached-equals-fresh invariant needs
+   callers to derive [warm] deterministically from platform state (the
+   nominal LB basis is itself a deterministic solve) — then cached and
+   uncached runs see identical warm inputs and stay bit-identical. *)
+let multicast_lb_full ?caller ?warm p =
+  cached ~kind:"lb" lb_table (Formulations.multicast_lb_warm ?warm) ?caller p
+
+let multicast_lb ?caller ?warm p = Option.map fst (multicast_lb_full ?caller ?warm p)
+
+(* The nominal-basis lookup used by Repair/Robust_plan to seed survivor
+   solves: solves (and caches) the platform's LB on a miss. *)
+let multicast_lb_basis ?caller p = Option.bind (multicast_lb_full ?caller p) snd
 let multicast_ub ?caller p = cached ~kind:"ub" ub_table Formulations.multicast_ub ?caller p
 let stats () = { hits = Atomic.get hits; misses = Atomic.get misses }
 

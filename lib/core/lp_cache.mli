@@ -33,8 +33,23 @@ val fingerprint : Platform.t -> string
     and misses are counted per caller under the metric names
     [lp_cache.hits.<caller>] / [lp_cache.misses.<caller>], and traced
     lookups carry the caller as a span argument — so a metrics snapshot
-    shows {e who} is getting the cache value. *)
-val multicast_lb : ?caller:string -> Platform.t -> Formulations.solution option
+    shows {e who} is getting the cache value.
+
+    [warm] seeds the solve on a miss with a basis from a related solve
+    (see {!Formulations.multicast_lb_warm}); hits ignore it. Callers
+    must derive [warm] deterministically from platform state (e.g. via
+    {!multicast_lb_basis} on the nominal platform) to preserve the
+    cached-run ≡ uncached-run bit-identity this cache guarantees. *)
+val multicast_lb :
+  ?caller:string -> ?warm:Formulations.warm_basis -> Platform.t ->
+  Formulations.solution option
+
+(** [multicast_lb_basis ?caller p] is the optimal LB basis of [p], solving
+    (and caching) its LB on a miss — the warm-start seed the resilience
+    layer threads into each survivor's {!multicast_lb}. [None] when the
+    LB is infeasible or the revised engine did not produce the basis. *)
+val multicast_lb_basis :
+  ?caller:string -> Platform.t -> Formulations.warm_basis option
 
 (** {!Formulations.multicast_ub} through the cache; [caller] as in
     {!multicast_lb}. *)

@@ -145,9 +145,13 @@ let plan ?(now = Unix.gettimeofday) ?before (p : Platform.t) damage =
         let replan_seconds = now () -. t0 in
         let throughput_after = Rat.to_float schedule.Schedule.throughput in
         let lb_after =
+          (* Survivor LB solves warm-start from the nominal platform's
+             optimal basis: one link/node of damage leaves most of the
+             basis valid, so the re-solve is a short dual correction. *)
+          let warm = Lp_cache.multicast_lb_basis ~caller:"repair" p in
           Option.map
             (fun (s : Formulations.solution) -> s.Formulations.throughput)
-            (Lp_cache.multicast_lb ~caller:"repair" survivor)
+            (Lp_cache.multicast_lb ~caller:"repair" ?warm survivor)
         in
         Ok
           {

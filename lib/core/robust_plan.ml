@@ -111,6 +111,12 @@ let score_prepared ?(with_lb = false) ?jobs (p : Platform.t) (sched : Schedule.t
       (fun m -> Rat.div (Rat.of_int m) sched.Schedule.period)
       sched.Schedule.per_tree_messages
   in
+  (* Nominal LB basis for warm-starting the survivor solves below.
+     Fetched once, sequentially, before the Pool.map: it is a
+     deterministic function of [p] (so cached and uncached runs see the
+     same seed — the bit-identity the bench asserts), and sharing one
+     array across domains is safe because solvers only read it. *)
+  let warm = if with_lb then Lp_cache.multicast_lb_basis ~caller:"robust_plan" p else None in
   let one { pf_failure = f; pf_damage = damage; pf_survivor } =
     Trace.with_span ~cat:"robust" "robust.scenario"
       ~args:[ ("failure", Trace.Str (describe_failure p f)) ]
@@ -135,7 +141,7 @@ let score_prepared ?(with_lb = false) ?jobs (p : Platform.t) (sched : Schedule.t
         if with_lb then
           Option.map
             (fun (s : Formulations.solution) -> s.Formulations.throughput)
-            (Lp_cache.multicast_lb ~caller:"robust_plan" survivor)
+            (Lp_cache.multicast_lb ~caller:"robust_plan" ?warm survivor)
         else None
       in
       { sc_failure = f; sc_retention; sc_survivor_lb }

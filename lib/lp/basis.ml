@@ -1,0 +1,201 @@
+(* LU-factorized simplex basis with product-form updates.
+
+   The basis matrix B is the set of columns [header] drawn from a sparse
+   column-major constraint matrix. We keep P B0 = L U from the last
+   refactorization (dense, partial pivoting — basis dimensions here are a
+   few hundred at most) plus an eta file recording the pivots applied
+   since: B_k = B_0 E_1 ... E_k where eta E_t replaces column r_t of the
+   identity with w_t = B_{t-1}^{-1} a_q. FTRAN applies the LU solve then
+   the eta inverses oldest-to-newest; BTRAN applies the transposed eta
+   inverses newest-to-oldest then the transposed LU solve.
+
+   The eta file is bounded: once [refactor_interval] updates accumulate,
+   the next update triggers a fresh factorization instead of a 65th eta.
+   Callers additionally watch the residual of B x_B = b (see [residual])
+   and force an early refactorization when drift exceeds their tolerance. *)
+
+let refactor_interval = 64
+let singular_tol = 1e-11
+
+type t = {
+  m : int;
+  cols : (int array * float array) array;
+  header : int array; (* owned jointly with the caller; [update] mutates it *)
+  lu : float array array; (* L strictly below diagonal (unit), U on/above *)
+  perm : int array; (* perm.(i) = original row now at position i *)
+  etas : (int * float array) array;
+  mutable n_etas : int;
+}
+
+let header t = t.header
+let updates_since_refactor t = t.n_etas
+
+let refactor t =
+  let m = t.m in
+  let lu = t.lu in
+  for i = 0 to m - 1 do
+    Array.fill lu.(i) 0 m 0.0
+  done;
+  for p = 0 to m - 1 do
+    let rows, vals = t.cols.(t.header.(p)) in
+    for k = 0 to Array.length rows - 1 do
+      lu.(rows.(k)).(p) <- lu.(rows.(k)).(p) +. vals.(k)
+    done
+  done;
+  for i = 0 to m - 1 do
+    t.perm.(i) <- i
+  done;
+  t.n_etas <- 0;
+  let ok = ref true in
+  let col = ref 0 in
+  while !ok && !col < m do
+    let c = !col in
+    let best = ref c and best_v = ref (abs_float lu.(c).(c)) in
+    for r = c + 1 to m - 1 do
+      let v = abs_float lu.(r).(c) in
+      if v > !best_v then begin
+        best_v := v;
+        best := r
+      end
+    done;
+    if !best_v <= singular_tol then ok := false
+    else begin
+      if !best <> c then begin
+        let tmp = lu.(c) in
+        lu.(c) <- lu.(!best);
+        lu.(!best) <- tmp;
+        let tp = t.perm.(c) in
+        t.perm.(c) <- t.perm.(!best);
+        t.perm.(!best) <- tp
+      end;
+      let piv = lu.(c).(c) in
+      for r = c + 1 to m - 1 do
+        let f = lu.(r).(c) /. piv in
+        if f <> 0.0 then begin
+          lu.(r).(c) <- f;
+          let lr = lu.(r) and lc = lu.(c) in
+          for j = c + 1 to m - 1 do
+            Array.unsafe_set lr j
+              (Array.unsafe_get lr j -. (f *. Array.unsafe_get lc j))
+          done
+        end
+      done
+    end;
+    incr col
+  done;
+  if !ok then Ok () else Error "singular basis"
+
+let create ~cols ~header =
+  let m = Array.length header in
+  let t =
+    {
+      m;
+      cols;
+      header;
+      lu = Array.init m (fun _ -> Array.make m 0.0);
+      perm = Array.init m Fun.id;
+      etas = Array.make refactor_interval (0, [||]);
+      n_etas = 0;
+    }
+  in
+  match refactor t with Ok () -> Ok t | Error e -> Error e
+
+(* Solve B x = b:  L U x = P b, then undo the etas in application order. *)
+let ftran t b =
+  let m = t.m in
+  let x = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    x.(i) <- b.(t.perm.(i))
+  done;
+  for i = 0 to m - 1 do
+    let li = t.lu.(i) in
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Array.unsafe_get li j *. Array.unsafe_get x j)
+    done;
+    x.(i) <- !s
+  done;
+  for i = m - 1 downto 0 do
+    let li = t.lu.(i) in
+    let s = ref x.(i) in
+    for j = i + 1 to m - 1 do
+      s := !s -. (Array.unsafe_get li j *. Array.unsafe_get x j)
+    done;
+    x.(i) <- !s /. li.(i)
+  done;
+  for k = 0 to t.n_etas - 1 do
+    let r, w = t.etas.(k) in
+    let xr = x.(r) /. w.(r) in
+    if xr <> 0.0 then
+      for i = 0 to m - 1 do
+        x.(i) <- x.(i) -. (Array.unsafe_get w i *. xr)
+      done;
+    x.(r) <- xr
+  done;
+  x
+
+(* Solve Bᵀ y = c: transposed eta inverses newest-to-oldest, then
+   Uᵀ forward, Lᵀ back, and undo the row permutation. *)
+let btran t c =
+  let m = t.m in
+  let x = Array.copy c in
+  for k = t.n_etas - 1 downto 0 do
+    let r, w = t.etas.(k) in
+    let s = ref x.(r) in
+    for i = 0 to m - 1 do
+      if i <> r then s := !s -. (Array.unsafe_get w i *. Array.unsafe_get x i)
+    done;
+    x.(r) <- !s /. w.(r)
+  done;
+  for i = 0 to m - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (t.lu.(j).(i) *. Array.unsafe_get x j)
+    done;
+    x.(i) <- !s /. t.lu.(i).(i)
+  done;
+  for i = m - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to m - 1 do
+      s := !s -. (t.lu.(j).(i) *. Array.unsafe_get x j)
+    done;
+    x.(i) <- !s
+  done;
+  let y = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    y.(t.perm.(i)) <- x.(i)
+  done;
+  y
+
+let update t ~row ~col ~w =
+  if abs_float w.(row) <= singular_tol then Error "pivot element too small"
+  else begin
+    t.header.(row) <- col;
+    if t.n_etas >= refactor_interval then refactor t
+    else begin
+      t.etas.(t.n_etas) <- (row, Array.copy w);
+      t.n_etas <- t.n_etas + 1;
+      Ok ()
+    end
+  end
+
+let residual t ~b ~x =
+  let m = t.m in
+  let r = Array.make m 0.0 in
+  for p = 0 to m - 1 do
+    let xp = x.(p) in
+    if xp <> 0.0 then begin
+      let rows, vals = t.cols.(t.header.(p)) in
+      for k = 0 to Array.length rows - 1 do
+        r.(rows.(k)) <- r.(rows.(k)) +. (vals.(k) *. xp)
+      done
+    end
+  done;
+  let num = ref 0.0 and den = ref 1.0 in
+  for i = 0 to m - 1 do
+    let d = abs_float (r.(i) -. b.(i)) in
+    if d > !num then num := d;
+    let bi = abs_float b.(i) in
+    if bi > !den then den := bi
+  done;
+  !num /. !den

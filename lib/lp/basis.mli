@@ -1,0 +1,55 @@
+(** LU-factorized simplex basis with product-form (eta) updates.
+
+    Maintains a factorization of the basis matrix B — the columns
+    [header] of a sparse column-major constraint matrix — supporting the
+    two solves the revised simplex needs per iteration: FTRAN (B x = b)
+    and BTRAN (Bᵀ y = c). Pivots are absorbed as product-form eta
+    vectors; after {!refactor_interval} of them the factorization is
+    rebuilt from scratch, and callers can force an earlier rebuild when
+    {!residual} shows the eta file has drifted. Dimensions in this
+    codebase are a few hundred rows at most, so the LU factors are dense
+    with partial pivoting. *)
+
+type t
+
+(** Updates between automatic refactorizations (64). *)
+val refactor_interval : int
+
+(** [create ~cols ~header] factorizes the basis made of columns
+    [header.(0..m-1)] of [cols], where [cols.(j)] is column [j] as
+    parallel (row indices, values) arrays. Keeps a reference to both
+    arrays: [header] is mutated by {!update}, and [cols] must outlive
+    the basis unchanged. [Error _] if the basis is numerically
+    singular. *)
+val create :
+  cols:(int array * float array) array ->
+  header:int array ->
+  (t, string) result
+
+(** The live header array (shared, not a copy). *)
+val header : t -> int array
+
+val updates_since_refactor : t -> int
+
+(** [ftran t b] solves [B x = b]. Returns a fresh array. *)
+val ftran : t -> float array -> float array
+
+(** [btran t c] solves [Bᵀ y = c]. Returns a fresh array. *)
+val btran : t -> float array -> float array
+
+(** [update t ~row ~col ~w] replaces the basic column at position [row]
+    with column [col], where [w = ftran t a_col] is the pivot column in
+    the current basis. Mutates [header]; appends an eta, or refactorizes
+    in place once the eta file is full. [Error _] if the pivot element
+    [w.(row)] is too small to absorb, or the refactorization finds the
+    new basis singular. *)
+val update : t -> row:int -> col:int -> w:float array -> (unit, string) result
+
+(** Rebuild the factorization from the current header, emptying the eta
+    file. *)
+val refactor : t -> (unit, string) result
+
+(** [residual t ~b ~x] is the relative residual
+    [‖B x − b‖∞ / max(1, ‖b‖∞)] — a cheap stability probe for a
+    previously FTRAN'd solution. *)
+val residual : t -> b:float array -> x:float array -> float

@@ -6,18 +6,21 @@ let float_solves = Metrics.counter "lp.solves.float"
 let exact_solves = Metrics.counter "lp.solves.exact"
 let float_pivots = Metrics.counter "lp.pivots.float"
 let exact_pivots_c = Metrics.counter "lp.pivots.exact"
+let warm_hits_c = Metrics.counter "lp.warm.hits"
 
 type snapshot = {
   float_solves : int;
   exact_solves : int;
   pivots : int;
   exact_pivots : int;
+  warm_hits : int;
 }
 
 let record_float_solve () = Metrics.incr float_solves
 let record_exact_solve () = Metrics.incr exact_solves
 let record_pivots n = Metrics.add float_pivots n
 let record_exact_pivots n = Metrics.add exact_pivots_c n
+let record_warm_hit () = Metrics.incr warm_hits_c
 
 let snapshot () =
   {
@@ -25,13 +28,15 @@ let snapshot () =
     exact_solves = Metrics.counter_value exact_solves;
     pivots = Metrics.counter_value float_pivots;
     exact_pivots = Metrics.counter_value exact_pivots_c;
+    warm_hits = Metrics.counter_value warm_hits_c;
   }
 
 let reset () =
   Metrics.set_counter float_solves 0;
   Metrics.set_counter exact_solves 0;
   Metrics.set_counter float_pivots 0;
-  Metrics.set_counter exact_pivots_c 0
+  Metrics.set_counter exact_pivots_c 0;
+  Metrics.set_counter warm_hits_c 0
 
 let since before =
   let now = snapshot () in
@@ -40,8 +45,10 @@ let since before =
     exact_solves = now.exact_solves - before.exact_solves;
     pivots = now.pivots - before.pivots;
     exact_pivots = now.exact_pivots - before.exact_pivots;
+    warm_hits = now.warm_hits - before.warm_hits;
   }
 
 let pp fmt s =
-  Format.fprintf fmt "LP solves %d (exact fallbacks %d), pivots %d (exact %d)"
-    s.float_solves s.exact_solves s.pivots s.exact_pivots
+  Format.fprintf fmt
+    "LP solves %d (exact fallbacks %d), pivots %d (exact %d), warm starts %d"
+    s.float_solves s.exact_solves s.pivots s.exact_pivots s.warm_hits

@@ -16,10 +16,14 @@
     [since] for race-free window accounting. *)
 
 type snapshot = {
-  float_solves : int;  (** calls to {!Simplex.solve} *)
+  float_solves : int;
+      (** calls to the float engines ({!Revised_simplex} and {!Simplex}) *)
   exact_solves : int;  (** calls to {!Simplex_exact.solve} *)
   pivots : int;  (** total float-engine pivots, both phases *)
   exact_pivots : int;  (** total exact-engine pivots *)
+  warm_hits : int;
+      (** solves that successfully started from a caller-supplied basis
+          (metric name [lp.warm.hits]) *)
 }
 
 (** Incremented by the solver engines; exposed for engines only. *)
@@ -31,6 +35,8 @@ val record_exact_solve : unit -> unit
 val record_pivots : int -> unit
 
 val record_exact_pivots : int -> unit
+
+val record_warm_hit : unit -> unit
 
 (** Current totals (atomic reads; consistent enough for reporting). *)
 val snapshot : unit -> snapshot

@@ -6,6 +6,7 @@ type t = {
   mutable nv : int;
   by_name : (string, int) Hashtbl.t;
   mutable rows : (expr * cmp * float) list; (* newest first *)
+  mutable row_name_list : string list; (* newest first, parallel to rows *)
   mutable nrows : int;
   mutable maximize : bool;
   mutable obj : expr;
@@ -17,6 +18,7 @@ let create () =
     nv = 0;
     by_name = Hashtbl.create 64;
     rows = [];
+    row_name_list = [];
     nrows = 0;
     maximize = true;
     obj = [];
@@ -43,14 +45,17 @@ let var_name m i =
   if i < 0 || i >= m.nv then invalid_arg "Lp_model.var_name";
   m.names.(i)
 
-let add_constraint m ?name:_ expr cmp rhs =
+let add_constraint m ?name expr cmp rhs =
   List.iter
     (fun (_, v) -> if v < 0 || v >= m.nv then invalid_arg "Lp_model.add_constraint: bad var")
     expr;
+  let name = match name with Some n -> n | None -> "r" ^ string_of_int m.nrows in
   m.rows <- (expr, cmp, rhs) :: m.rows;
+  m.row_name_list <- name :: m.row_name_list;
   m.nrows <- m.nrows + 1
 
 let n_constraints m = m.nrows
+let row_names m = Array.of_list (List.rev m.row_name_list)
 
 let set_objective m ~maximize expr =
   m.maximize <- maximize;

@@ -26,10 +26,18 @@ val var : t -> string -> int
 val n_vars : t -> int
 val var_name : t -> int -> string
 
-(** [add_constraint m ?name expr cmp rhs] appends a row. *)
+(** [add_constraint m ?name expr cmp rhs] appends a row. [name] (default
+    ["r<index>"]) identifies the row in warm-start bases ({!Revised_simplex}):
+    a slack basic for this row is recorded under the row's name, so models
+    naming their rows stably can port bases across structurally different
+    instances. Names need not be unique — only warm-start resolution reads
+    them, and it takes the first match. *)
 val add_constraint : t -> ?name:string -> expr -> cmp -> float -> unit
 
 val n_constraints : t -> int
+
+(** Row names, in the order {!rows} returns them. *)
+val row_names : t -> string array
 
 (** [set_objective m ~maximize expr] installs the objective. *)
 val set_objective : t -> maximize:bool -> expr -> unit

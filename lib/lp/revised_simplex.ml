@@ -1,0 +1,652 @@
+(* Revised primal/dual simplex over a sparse column-major model.
+
+   Same standard form as the dense engine (Simplex): rows normalized to
+   rhs >= 0, one slack/surplus column per inequality, one artificial per
+   Ge/Eq row, internal minimization with maximization handled by a sign
+   flip. Instead of a dense tableau we keep only the basis header plus an
+   LU factorization with eta updates (Basis); each iteration recomputes
+   y = B^-T c_B, prices reduced costs against the sparse columns, and
+   FTRANs the entering column. That keeps per-pivot work at O(m^2 + nnz)
+   instead of O(m * n), and — the point of the exercise — makes the basis
+   a first-class value that can be exported by name and re-imported to
+   warm-start a related model.
+
+   Warm starts: a basis is an array of column names (structural variables
+   by their Lp_model name, slack of row r as "s:<row name>", artificials
+   as "a:<row name>"). [solve ?warm] resolves those names against the
+   current model, completes the set with slacks of uncovered rows,
+   factorizes, and then runs dual simplex (if the basis prices dual
+   feasible — the common case when rows were added to a previously solved
+   model) or primal phase 2 (if it is primal feasible). Any trouble on
+   the warm path — unresolvable basis, singular factorization, neither
+   feasible, stall, numerical drift — falls back to a cold solve inside
+   this module, so warm starts can change performance but never
+   verdicts: only [Optimal] ever escapes the warm path. Models with
+   artificial columns (Ge/Eq rows) skip the warm path entirely. *)
+
+type warm = {
+  wcols : string array;
+  wrows : string array;
+}
+
+type solution = {
+  values : float array;
+  objective : float;
+  row_duals : float array;
+  pivots : int;
+  basis : warm;
+  warm_used : bool;
+}
+
+type status = Optimal of solution | Infeasible | Unbounded | Stalled
+
+let epsilon = Simplex.epsilon
+let max_iterations = 200_000
+
+(* Residual tolerance on B x_B = b before forcing an early
+   refactorization; an order looser than the feasibility tolerances so
+   a refactor fires well before verdicts could be affected. *)
+let residual_tol = 1e-7
+
+(* Feasibility slop accepted when classifying a warm basis. Looser than
+   [epsilon]: a basis ported across models is useful even when it prices
+   a few ulps on the wrong side. *)
+let warm_tol = 1e-7
+
+exception Numerical
+
+type std = {
+  m : int;
+  ncols : int;
+  nv : int; (* structural variable count *)
+  art_start : int;
+  cols : (int array * float array) array;
+  b : float array;
+  cost : float array; (* internal minimization costs over all columns *)
+  sign : float; (* -1 when maximizing: external obj = sign * internal *)
+  col_names : string array;
+  row_names : string array; (* input row names, for warm-basis portability *)
+  slack_of_row : int array; (* slack/surplus column of each row *)
+  init_basic : int array; (* cold-start basis: slack or artificial per row *)
+}
+
+let build model =
+  let maximize, obj = Lp_model.objective model in
+  let rows = Lp_model.rows model in
+  let row_names = Lp_model.row_names model in
+  let nv = Lp_model.n_vars model in
+  let norm =
+    Array.map
+      (fun (expr, cmp, rhs) ->
+        if rhs < 0.0 then
+          let expr = List.map (fun (c, v) -> (-.c, v)) expr in
+          let cmp = match cmp with Lp_model.Le -> Lp_model.Ge | Ge -> Le | Eq -> Eq in
+          (expr, cmp, -.rhs)
+        else (expr, cmp, rhs))
+      rows
+  in
+  let m = Array.length norm in
+  let n_slack = ref 0 and n_art = ref 0 in
+  Array.iter
+    (fun (_, cmp, _) ->
+      match cmp with
+      | Lp_model.Le -> incr n_slack
+      | Ge ->
+        incr n_slack;
+        incr n_art
+      | Eq -> incr n_art)
+    norm;
+  let art_start = nv + !n_slack in
+  let ncols = art_start + !n_art in
+  (* Structural columns, transposed from the row-major model. Duplicate
+     (row, var) entries are kept as-is: every consumer adds them up. *)
+  let acc = Array.make ncols [] in
+  Array.iteri
+    (fun i (expr, _, _) -> List.iter (fun (c, v) -> acc.(v) <- (i, c) :: acc.(v)) expr)
+    norm;
+  let b = Array.make m 0.0 in
+  let col_names = Array.make ncols "" in
+  for v = 0 to nv - 1 do
+    col_names.(v) <- Lp_model.var_name model v
+  done;
+  let slack_of_row = Array.make m (-1) in
+  let init_basic = Array.make m (-1) in
+  let slack = ref nv and art = ref art_start in
+  Array.iteri
+    (fun i (_, cmp, rhs) ->
+      b.(i) <- rhs;
+      match cmp with
+      | Lp_model.Le ->
+        acc.(!slack) <- [ (i, 1.0) ];
+        col_names.(!slack) <- "s:" ^ row_names.(i);
+        slack_of_row.(i) <- !slack;
+        init_basic.(i) <- !slack;
+        incr slack
+      | Ge ->
+        acc.(!slack) <- [ (i, -1.0) ];
+        col_names.(!slack) <- "s:" ^ row_names.(i);
+        slack_of_row.(i) <- !slack;
+        incr slack;
+        acc.(!art) <- [ (i, 1.0) ];
+        col_names.(!art) <- "a:" ^ row_names.(i);
+        init_basic.(i) <- !art;
+        incr art
+      | Eq ->
+        acc.(!art) <- [ (i, 1.0) ];
+        col_names.(!art) <- "a:" ^ row_names.(i);
+        init_basic.(i) <- !art;
+        incr art)
+    norm;
+  let cols =
+    Array.map
+      (fun entries ->
+        let entries = List.rev entries in
+        let n = List.length entries in
+        let rows_a = Array.make n 0 and vals = Array.make n 0.0 in
+        List.iteri
+          (fun k (r, c) ->
+            rows_a.(k) <- r;
+            vals.(k) <- c)
+          entries;
+        (rows_a, vals))
+      acc
+  in
+  let sign = if maximize then -1.0 else 1.0 in
+  let cost = Array.make ncols 0.0 in
+  List.iter (fun (c, v) -> cost.(v) <- cost.(v) +. (sign *. c)) obj;
+  {
+    m;
+    ncols;
+    nv;
+    art_start;
+    cols;
+    b;
+    cost;
+    sign;
+    col_names;
+    row_names;
+    slack_of_row;
+    init_basic;
+  }
+
+let dot (rows, vals) y =
+  let s = ref 0.0 in
+  for k = 0 to Array.length rows - 1 do
+    s := !s +. (Array.unsafe_get vals k *. Array.unsafe_get y (Array.unsafe_get rows k))
+  done;
+  !s
+
+let dense_col std j =
+  let v = Array.make std.m 0.0 in
+  let rows, vals = std.cols.(j) in
+  for k = 0 to Array.length rows - 1 do
+    v.(rows.(k)) <- v.(rows.(k)) +. vals.(k)
+  done;
+  v
+
+(* x_B = B^-1 b, with the stability check: when the relative residual of
+   the eta-file solve exceeds [residual_tol], refactorize early and
+   re-solve; if a fresh factorization still cannot reproduce b, the
+   basis is numerically hopeless and the caller falls back. *)
+let compute_xb std bs =
+  let x = Basis.ftran bs std.b in
+  if Basis.residual bs ~b:std.b ~x <= residual_tol then x
+  else begin
+    (match Basis.refactor bs with Ok () -> () | Error _ -> raise Numerical);
+    let x = Basis.ftran bs std.b in
+    if Basis.residual bs ~b:std.b ~x > residual_tol then raise Numerical;
+    x
+  end
+
+type phase_result = P_optimal | P_unbounded | P_stalled
+
+(* One primal phase over cost vector [cost], entering restricted to
+   [allow]. Shares the Anti_cycle controller (Dantzig until the
+   objective stalls, then a one-way Bland latch) and the dense engine's
+   ratio test, including the eager eviction of artificials basic at
+   zero. Returns the verdict and the final x_B. *)
+let primal std bs is_basic cost ~allow ~max_iter pivots =
+  let m = std.m in
+  let header = Basis.header bs in
+  let cb = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    cb.(i) <- cost.(header.(i))
+  done;
+  let x_b = ref (compute_xb std bs) in
+  let objective () =
+    let s = ref 0.0 in
+    for i = 0 to m - 1 do
+      s := !s +. (cb.(i) *. !x_b.(i))
+    done;
+    !s
+  in
+  let ac = Simplex.Anti_cycle.create (objective ()) in
+  let iter = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !iter >= max_iter then result := Some P_stalled
+    else begin
+      let y = Basis.btran bs cb in
+      let q =
+        if Simplex.Anti_cycle.bland ac then begin
+          let rec go j =
+            if j >= std.ncols then None
+            else if
+              (not is_basic.(j)) && allow j && cost.(j) -. dot std.cols.(j) y < -.epsilon
+            then Some j
+            else go (j + 1)
+          in
+          go 0
+        end
+        else begin
+          let best = ref (-1) and best_v = ref (-.epsilon) in
+          for j = 0 to std.ncols - 1 do
+            if (not is_basic.(j)) && allow j then begin
+              let d = cost.(j) -. dot std.cols.(j) y in
+              if d < !best_v then begin
+                best_v := d;
+                best := j
+              end
+            end
+          done;
+          if !best < 0 then None else Some !best
+        end
+      in
+      match q with
+      | None -> result := Some P_optimal
+      | Some q ->
+        let w = Basis.ftran bs (dense_col std q) in
+        let r = ref (-1) in
+        (* Eager eviction of artificials basic at zero (see
+           Simplex.leaving): degenerate pivot, either sign. *)
+        if q < std.art_start then begin
+          let i = ref 0 in
+          while !r < 0 && !i < m do
+            if
+              header.(!i) >= std.art_start
+              && abs_float !x_b.(!i) <= epsilon
+              && abs_float w.(!i) > epsilon
+            then r := !i;
+            incr i
+          done
+        end;
+        if !r < 0 then begin
+          let best_ratio = ref infinity in
+          for i = 0 to m - 1 do
+            if w.(i) > epsilon then begin
+              let ratio = !x_b.(i) /. w.(i) in
+              let ratio = if ratio < 0.0 then 0.0 else ratio in
+              let better =
+                if ratio < !best_ratio -. epsilon then true
+                else if ratio > !best_ratio +. epsilon then false
+                else begin
+                  let cur = !r in
+                  if cur < 0 then true
+                  else begin
+                    let i_art = header.(i) >= std.art_start in
+                    let cur_art = header.(cur) >= std.art_start in
+                    if i_art <> cur_art then i_art else header.(i) < header.(cur)
+                  end
+                end
+              in
+              if better then begin
+                r := i;
+                best_ratio := ratio
+              end
+            end
+          done
+        end;
+        if !r < 0 then result := Some P_unbounded
+        else begin
+          let leave = header.(!r) in
+          (match Basis.update bs ~row:!r ~col:q ~w with
+          | Ok () -> ()
+          | Error _ -> raise Numerical);
+          is_basic.(leave) <- false;
+          is_basic.(q) <- true;
+          cb.(!r) <- cost.(q);
+          x_b := compute_xb std bs;
+          incr iter;
+          incr pivots;
+          Simplex.Anti_cycle.observe ac (objective ())
+        end
+    end
+  done;
+  (Option.get !result, !x_b)
+
+(* Dual simplex: drive a dual-feasible basis to primal feasibility.
+   Leaving row = most negative basic value; entering = dual ratio test
+   over the leaving row's BTRAN, breaking near-ties towards the largest
+   |alpha| for stability. Warm restarts of the cut LPs are heavily
+   degenerate (many zero reduced costs), so after [m] iterations without
+   converging we assume the loop is cycling on zero-length dual steps and
+   switch both rules to Bland's lowest-index choice, which cannot cycle.
+   Used on the warm path only, so every non-Optimal outcome just
+   surrenders to a cold solve. *)
+let dual std bs is_basic ~max_iter pivots =
+  let m = std.m in
+  let header = Basis.header bs in
+  let cb = Array.make m 0.0 in
+  let iter = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !iter >= max_iter then result := Some `Stalled
+    else begin
+      let bland = !iter >= m in
+      let x_b = compute_xb std bs in
+      let r = ref (-1) and rv = ref (-.epsilon) in
+      for i = 0 to m - 1 do
+        if x_b.(i) < -.epsilon then
+          if bland then begin
+            if !r < 0 || header.(i) < header.(!r) then r := i
+          end
+          else if x_b.(i) < !rv then begin
+            rv := x_b.(i);
+            r := i
+          end
+      done;
+      if !r < 0 then result := Some `Optimal
+      else begin
+        for i = 0 to m - 1 do
+          cb.(i) <- std.cost.(header.(i))
+        done;
+        let y = Basis.btran bs cb in
+        let er = Array.make m 0.0 in
+        er.(!r) <- 1.0;
+        let rho = Basis.btran bs er in
+        let q = ref (-1) and best = ref infinity and best_a = ref 0.0 in
+        for j = 0 to std.ncols - 1 do
+          if not is_basic.(j) then begin
+            let alpha = dot std.cols.(j) rho in
+            if alpha < -.epsilon then begin
+              let d = std.cost.(j) -. dot std.cols.(j) y in
+              let d = if d < 0.0 then 0.0 else d in
+              let ratio = d /. -.alpha in
+              if ratio < !best -. 1e-9 then begin
+                best := ratio;
+                q := j;
+                best_a := -.alpha
+              end
+              else if (not bland) && ratio < !best +. 1e-9 && -.alpha > !best_a
+              then begin
+                (* near-tie: prefer the larger pivot magnitude *)
+                q := j;
+                best_a := -.alpha
+              end
+            end
+          end
+        done;
+        if !q < 0 then result := Some `Primal_infeasible
+        else begin
+          let w = Basis.ftran bs (dense_col std !q) in
+          let leave = header.(!r) in
+          match Basis.update bs ~row:!r ~col:!q ~w with
+          | Error _ -> raise Numerical
+          | Ok () ->
+            is_basic.(leave) <- false;
+            is_basic.(!q) <- true;
+            incr iter;
+            incr pivots
+        end
+      end
+    end
+  done;
+  Option.get !result
+
+let extract std bs x_b ~pivots ~warm_used =
+  let m = std.m in
+  let header = Basis.header bs in
+  let values = Array.make std.nv 0.0 in
+  for i = 0 to m - 1 do
+    if header.(i) < std.nv then values.(header.(i)) <- x_b.(i)
+  done;
+  let cb = Array.init m (fun i -> std.cost.(header.(i))) in
+  let y = Basis.btran bs cb in
+  let internal = ref 0.0 in
+  for i = 0 to m - 1 do
+    internal := !internal +. (cb.(i) *. x_b.(i))
+  done;
+  (* Duals for the NORMALIZED rows (rhs >= 0), matching Simplex: for a
+     minimization y itself, sign-flipped when the objective was negated
+     for maximization. *)
+  let row_duals = Array.map (fun yi -> std.sign *. yi) y in
+  {
+    values;
+    objective = std.sign *. !internal;
+    row_duals;
+    pivots;
+    basis =
+      {
+        wcols = Array.map (fun j -> std.col_names.(j)) header;
+        wrows = std.row_names;
+      };
+    warm_used;
+  }
+
+(* Phase 2 from a primal-feasible basis, then extraction. [None] means
+   the caller must fall back (stall / numerical trouble); Unbounded is
+   only trusted from a cold start. *)
+let finish std bs is_basic ~max_iter pivots ~warm_used =
+  let allow j = j < std.art_start in
+  match primal std bs is_basic std.cost ~allow ~max_iter pivots with
+  | P_optimal, x_b -> `Done (Optimal (extract std bs x_b ~pivots:!pivots ~warm_used))
+  | P_unbounded, _ -> if warm_used then `Fallback else `Done Unbounded
+  | P_stalled, _ -> if warm_used then `Fallback else `Done Stalled
+
+let cold std ~max_iter pivots =
+  let header = Array.copy std.init_basic in
+  match Basis.create ~cols:std.cols ~header with
+  | Error _ -> Stalled
+  | Ok bs ->
+    let is_basic = Array.make std.ncols false in
+    Array.iter (fun j -> is_basic.(j) <- true) header;
+    let n_art = std.ncols - std.art_start in
+    let phase1 =
+      if n_art = 0 then P_optimal
+      else begin
+        (* Initial artificial values are the rhs of their rows; if they
+           all start at zero, phase 1 is already optimal. *)
+        let infeas = ref 0.0 in
+        Array.iteri
+          (fun i j -> if j >= std.art_start then infeas := !infeas +. std.b.(i))
+          header;
+        if !infeas <= epsilon then P_optimal
+        else begin
+          let cost1 = Array.make std.ncols 0.0 in
+          for j = std.art_start to std.ncols - 1 do
+            cost1.(j) <- 1.0
+          done;
+          let verdict, x_b =
+            primal std bs is_basic cost1 ~allow:(fun _ -> true) ~max_iter pivots
+          in
+          (match verdict with
+          | P_optimal ->
+            let obj1 = ref 0.0 in
+            Array.iteri
+              (fun i j -> if j >= std.art_start then obj1 := !obj1 +. (cost1.(j) *. x_b.(i)))
+              header;
+            if !obj1 > 1e-6 then P_unbounded (* reuse as "infeasible" signal *)
+            else P_optimal
+          | v -> v)
+        end
+      end
+    in
+    (match phase1 with
+    | P_stalled -> Stalled
+    | P_unbounded -> Infeasible (* phase-1 objective is bounded below by 0 *)
+    | P_optimal -> (
+      match finish std bs is_basic ~max_iter pivots ~warm_used:false with
+      | `Done st -> st
+      | `Fallback -> Stalled (* unreachable: cold finish never asks to fall back *)))
+
+(* Resolve a warm basis against this model and repair it into a
+   nonsingular basis of the current one:
+
+   - drop unknown column names and duplicates;
+   - rows of this model whose {e name} the source model never had are
+     genuinely new — their slacks go basic up front;
+   - Gaussian-eliminate the resolved columns with pivot rows restricted
+     to the {e shared} rows, keeping a maximal independent subset;
+   - complete with the slacks of whatever shared rows end unpivoted.
+
+   The row-name restriction is the load-bearing part. When the new
+   model only added rows (the cut-generation loop, nominal-to-survivor
+   re-solves), the old basis is nonsingular on the shared rows, so
+   every resolved column pivots there and the result is exactly the
+   block-triangular [B 0; C I]: nonsingular, and priced identically to
+   the old optimum (dual feasible), leaving the dual simplex a short
+   re-solve. Unrestricted magnitude pivoting instead happily pivots an
+   old column on a new cut row (their ±1 entries dominate the
+   cost-sized port entries), silently swapping a different slack into
+   the basis and destroying dual feasibility. Only all-Le models are
+   offered the warm path, so every row has a slack and completion
+   always reaches m columns. *)
+let resolve_warm std warm =
+  let tbl = Hashtbl.create (2 * std.ncols) in
+  for j = std.ncols - 1 downto 0 do
+    Hashtbl.replace tbl std.col_names.(j) j
+  done;
+  let seen = Hashtbl.create 64 in
+  let resolved = ref [] and count = ref 0 in
+  Array.iter
+    (fun nm ->
+      match Hashtbl.find_opt tbl nm with
+      | Some j when (not (Hashtbl.mem seen j)) && !count < std.m ->
+        Hashtbl.replace seen j ();
+        resolved := j :: !resolved;
+        incr count
+      | _ -> ())
+    warm.wcols;
+  let resolved = List.rev !resolved in
+  let old_rows = Hashtbl.create (2 * Array.length warm.wrows) in
+  Array.iter (fun nm -> Hashtbl.replace old_rows nm ()) warm.wrows;
+  let header = Array.make std.m (-1) in
+  let pos = ref 0 in
+  let row_used = Array.make std.m false in
+  (* New rows first: slack basic, row off-limits to the elimination. A
+     resolved column that happens to be such a slack (a name collision
+     across models) loses its slot to the forced assignment. *)
+  let forced = Hashtbl.create 16 in
+  Array.iteri
+    (fun i nm ->
+      if not (Hashtbl.mem old_rows nm) then begin
+        row_used.(i) <- true;
+        let s = std.slack_of_row.(i) in
+        if (not (Hashtbl.mem forced s)) && !pos < std.m then begin
+          Hashtbl.replace forced s ();
+          header.(!pos) <- s;
+          incr pos
+        end
+      end)
+    std.row_names;
+  let resolved = List.filter (fun j -> not (Hashtbl.mem forced j)) resolved in
+  let k = List.length resolved in
+  let mat = Array.make_matrix std.m k 0.0 in
+  List.iteri
+    (fun c j ->
+      let rows, vals = std.cols.(j) in
+      for e = 0 to Array.length rows - 1 do
+        mat.(rows.(e)).(c) <- mat.(rows.(e)).(c) +. vals.(e)
+      done)
+    resolved;
+  List.iteri
+    (fun c j ->
+      let best = ref (-1) and best_v = ref 1e-9 in
+      for i = 0 to std.m - 1 do
+        if not row_used.(i) then begin
+          let v = abs_float mat.(i).(c) in
+          if v > !best_v then begin
+            best_v := v;
+            best := i
+          end
+        end
+      done;
+      match !best with
+      | -1 -> () (* dependent on the columns kept so far: drop *)
+      | r ->
+        row_used.(r) <- true;
+        if !pos < std.m then begin
+          header.(!pos) <- j;
+          incr pos
+        end;
+        let piv = mat.(r).(c) in
+        for c' = c + 1 to k - 1 do
+          let f = mat.(r).(c') /. piv in
+          if f <> 0.0 then
+            for i = 0 to std.m - 1 do
+              mat.(i).(c') <- mat.(i).(c') -. (f *. mat.(i).(c))
+            done
+        done)
+    resolved;
+  for i = 0 to std.m - 1 do
+    if (not row_used.(i)) && !pos < std.m then begin
+      header.(!pos) <- std.slack_of_row.(i);
+      incr pos
+    end
+  done;
+  if !pos < std.m then None else Some header
+
+(* Dual-simplex pivot budget for a warm attempt: re-solves from a good
+   basis take a few dozen pivots even at bench scale, so anything that
+   drags past a couple of sweeps over the rows is cheaper to restart
+   cold than to keep grinding (the budget is pure waste when the attempt
+   ultimately fails). The dual loop's own Bland latch kicks in at [m]
+   iterations, so the budget leaves it room to untangle a short cycle
+   but not to wander. *)
+let dual_budget std = 32 + std.m
+
+let try_warm std warm ~max_iter pivots =
+  match resolve_warm std warm with
+  | None -> None
+  | Some header -> (
+    match Basis.create ~cols:std.cols ~header with
+    | Error _ -> None
+    | Ok bs -> (
+      try
+        let is_basic = Array.make std.ncols false in
+        Array.iter (fun j -> is_basic.(j) <- true) header;
+        let x_b = compute_xb std bs in
+        let cb = Array.init std.m (fun i -> std.cost.(header.(i))) in
+        let y = Basis.btran bs cb in
+        let dual_ok = ref true in
+        for j = 0 to std.ncols - 1 do
+          if (not is_basic.(j)) && std.cost.(j) -. dot std.cols.(j) y < -.warm_tol then
+            dual_ok := false
+        done;
+        let primal_ok = Array.for_all (fun v -> v >= -.warm_tol) x_b in
+        let finish_warm () =
+          match finish std bs is_basic ~max_iter pivots ~warm_used:true with
+          | `Done (Optimal sol) -> Some sol
+          | `Done _ | `Fallback -> None
+        in
+        if !dual_ok then begin
+          match dual std bs is_basic ~max_iter:(min max_iter (dual_budget std)) pivots with
+          (* The primal clean-up pass absorbs any residual dual
+             infeasibility the tolerance let through; from a truly
+             optimal basis it prices out in zero pivots. *)
+          | `Optimal -> finish_warm ()
+          | `Primal_infeasible | `Stalled -> None
+        end
+        else if primal_ok then finish_warm ()
+        else None
+      with Numerical -> None))
+
+let solve ?(max_iter = max_iterations) ?warm model =
+  let std = build model in
+  Lp_counters.record_float_solve ();
+  let pivots = ref 0 in
+  let warm_sol =
+    match warm with
+    | Some w when std.ncols = std.art_start && std.m > 0 ->
+      try_warm std w ~max_iter pivots
+    | _ -> None
+  in
+  let result =
+    match warm_sol with
+    | Some sol ->
+      Lp_counters.record_warm_hit ();
+      Optimal sol
+    | None -> ( try cold std ~max_iter pivots with Numerical -> Stalled)
+  in
+  Lp_counters.record_pivots !pivots;
+  result

@@ -1,0 +1,59 @@
+(** Revised primal/dual simplex over a sparse column-major model.
+
+    The preferred float engine ({!Solver_chain} tries it ahead of the
+    dense tableau {!Simplex}). Works from the basis header plus an
+    LU-with-eta factorization ({!Basis}) that is rebuilt every
+    {!Basis.refactor_interval} pivots or earlier when a residual check
+    detects drift. Pricing is Dantzig with the shared
+    {!Simplex.Anti_cycle} one-way Bland latch; tolerances and the
+    standard form (row normalization, slack/artificial layout, eager
+    eviction of zero-valued basic artificials) match the dense engine,
+    so both engines agree on the same models.
+
+    What the dense engine cannot do: the optimal basis is exported by
+    {e name} — structural variables by their {!Lp_model} name, the
+    slack of a row named [r] as ["s:r"], plus the full row-name list of
+    the source model — and can be fed back via [?warm] to a {e related}
+    model (same naming scheme, possibly different rows/columns). A warm
+    solve resolves the names, repairs them into a nonsingular basis of
+    the new model (rows the source model never had get their slacks
+    basic; resolved columns are eliminated strictly within the shared
+    rows, which reconstructs the dual-feasible block basis when rows
+    were only added), and re-optimizes with dual simplex (basis dual
+    feasible) or primal phase 2 (basis primal feasible). The warm path
+    is verdict-neutral: every failure mode falls back to a cold solve
+    internally, so only [Optimal] can ever come out of it, and models
+    with artificials (Ge/Eq rows after normalization) skip it
+    entirely. *)
+
+(** A basis by name, portable across related models: the basic columns
+    plus every row name of the model it came from (so a receiving model
+    can tell its genuinely new rows from merely non-binding ones). *)
+type warm = {
+  wcols : string array;  (** basic columns, in header order *)
+  wrows : string array;  (** all rows of the source model, input order *)
+}
+
+type solution = {
+  values : float array;  (** one value per structural variable *)
+  objective : float;
+  row_duals : float array;
+      (** shadow prices in input row order, for the normalized (rhs ≥ 0)
+          rows — same convention as {!Simplex.solution.row_duals} *)
+  pivots : int;
+      (** pivots spent in this call, warm attempt and any cold restart
+          included *)
+  basis : warm;  (** the optimal basis, ready to warm-start a relative *)
+  warm_used : bool;
+      (** true iff the result came from the warm path (counted in
+          [lp.warm.hits]) *)
+}
+
+type status = Optimal of solution | Infeasible | Unbounded | Stalled
+
+val max_iterations : int
+
+(** [solve ?max_iter ?warm model]. [Stalled] means the iteration budget
+    ran out or the numerics gave way — callers fall back to another
+    engine, exactly as with {!Simplex.solve}. *)
+val solve : ?max_iter:int -> ?warm:warm -> Lp_model.t -> status

@@ -11,6 +11,29 @@ let debug = Sys.getenv_opt "MCAST_LP_DEBUG" <> None
 let max_iterations = 200_000
 let stall_window = 512 (* degenerate iterations before switching to Bland *)
 
+(* Anti-cycling controller shared by the float engines (this one and
+   Revised_simplex): Dantzig pricing until the objective stalls for
+   [stall_window] consecutive pivots, then Bland's rule for the remainder
+   of the phase. The latch is one-way: releasing it on progress would void
+   Bland's termination guarantee — a cycle that alternates tiny non-zero
+   progress with degenerate stretches would re-arm Dantzig forever. *)
+module Anti_cycle = struct
+  type t = { mutable stall : int; mutable bland : bool; mutable last_obj : float }
+
+  let create obj = { stall = 0; bland = false; last_obj = obj }
+  let bland t = t.bland
+
+  let observe t obj =
+    if abs_float (obj -. t.last_obj) < epsilon then begin
+      t.stall <- t.stall + 1;
+      if t.stall > stall_window then t.bland <- true
+    end
+    else begin
+      t.stall <- 0;
+      t.last_obj <- obj
+    end
+end
+
 (* The tableau holds one float array per row, of length [ncols + 1]; the
    last entry is the right-hand side. The cost row is separate. All hot
    loops use unsafe accesses: indices come from the fixed tableau shape. *)
@@ -98,7 +121,7 @@ let leaving t q =
         t.alive.(!i)
         && t.basis.(!i) >= t.art_start
         && abs_float t.a.(!i).(t.ncols) <= epsilon
-        && abs_float t.a.(!i).(q) > 1e-7
+        && abs_float t.a.(!i).(q) > epsilon
       then evict := !i;
       incr i
     done
@@ -142,15 +165,15 @@ type phase_result = P_optimal | P_unbounded | P_stalled
    solves on separate domains cannot interfere. *)
 let run_phase t ~max_iter ~allow =
   let iter = ref 0 in
-  let t0 = Unix.gettimeofday () in
-  let bland = ref false in
-  let stall = ref 0 in
-  let last_obj = ref t.cost.(t.ncols) in
+  (* The clock feeds debug output only; reading it unconditionally put two
+     syscalls per phase on the hottest path, from every pool domain. *)
+  let t0 = if debug then Unix.gettimeofday () else 0.0 in
+  let ac = Anti_cycle.create t.cost.(t.ncols) in
   let result = ref None in
   while !result = None do
     if !iter >= max_iter then result := Some P_stalled
     else begin
-      match entering t ~bland:!bland ~allow with
+      match entering t ~bland:(Anti_cycle.bland ac) ~allow with
       | None -> result := Some P_optimal
       | Some q -> (
         match leaving t q with
@@ -160,17 +183,8 @@ let run_phase t ~max_iter ~allow =
           incr iter;
           if debug && !iter mod 1000 = 0 then
             Printf.eprintf "[simplex] iter %d obj %.6f bland %b\n%!" !iter
-              t.cost.(t.ncols) !bland;
-          let obj = t.cost.(t.ncols) in
-          if abs_float (obj -. !last_obj) < epsilon then begin
-            incr stall;
-            if !stall > stall_window then bland := true
-          end
-          else begin
-            stall := 0;
-            bland := false;
-            last_obj := obj
-          end)
+              t.cost.(t.ncols) (Anti_cycle.bland ac);
+          Anti_cycle.observe ac t.cost.(t.ncols))
     end
   done;
   if debug then

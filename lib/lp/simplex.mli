@@ -38,3 +38,27 @@ val solve_exn : Lp_model.t -> solution
 
 (** Absolute feasibility/pricing tolerance used by the engine. *)
 val epsilon : float
+
+(** Degenerate pivots tolerated before the pricing rule switches to Bland. *)
+val stall_window : int
+
+(** Anti-cycling controller shared with {!Revised_simplex}: Dantzig pricing
+    until the objective has stalled for {!stall_window} consecutive pivots,
+    then Bland's rule for the remainder of the phase. The switch is a
+    one-way latch — once engaged it stays engaged even if the objective
+    later improves, because releasing it would void Bland's termination
+    guarantee (a cycle alternating tiny progress with degenerate stretches
+    would re-arm Dantzig forever). Exposed so the latch semantics are
+    regression-testable. *)
+module Anti_cycle : sig
+  type t
+
+  (** [create obj] starts a controller at objective value [obj]. *)
+  val create : float -> t
+
+  (** [observe t obj] accounts one pivot that ended at objective [obj]. *)
+  val observe : t -> float -> unit
+
+  (** Whether Bland's rule is engaged. *)
+  val bland : t -> bool
+end

@@ -1,4 +1,10 @@
-type solution = { values : Rat.t array; objective : Rat.t; pivots : int }
+type solution = {
+  values : Rat.t array;
+  objective : Rat.t;
+  row_duals : Rat.t array;
+  pivots : int;
+}
+
 type status = Optimal of solution | Infeasible | Unbounded
 
 type tableau = {
@@ -146,6 +152,10 @@ let solve ~n_vars ~maximize ~objective rows =
   let ncols = art_start + !n_art in
   let a = Array.init m (fun _ -> Array.make (ncols + 1) Rat.zero) in
   let basis = Array.make (max m 1) (-1) in
+  (* For dual recovery, as in the float engine: the identity-like column of
+     each row and its sign (+1 slack/artificial, -1 surplus). *)
+  let aux_col = Array.make (max m 1) (-1) in
+  let aux_sign = Array.make (max m 1) Rat.one in
   let slack = ref n_vars and art = ref art_start in
   List.iteri
     (fun i (expr, cmp, rhs) ->
@@ -155,9 +165,12 @@ let solve ~n_vars ~maximize ~objective rows =
       | Lp_model.Le ->
         a.(i).(!slack) <- Rat.one;
         basis.(i) <- !slack;
+        aux_col.(i) <- !slack;
         incr slack
       | Ge ->
         a.(i).(!slack) <- Rat.minus_one;
+        aux_col.(i) <- !slack;
+        aux_sign.(i) <- Rat.minus_one;
         incr slack;
         a.(i).(!art) <- Rat.one;
         basis.(i) <- !art;
@@ -165,6 +178,7 @@ let solve ~n_vars ~maximize ~objective rows =
       | Eq ->
         a.(i).(!art) <- Rat.one;
         basis.(i) <- !art;
+        aux_col.(i) <- !art;
         incr art)
     norm;
   let t =
@@ -212,7 +226,20 @@ let solve ~n_vars ~maximize ~objective rows =
           done;
           let internal = Rat.neg t.cost.(ncols) in
           let objective = if maximize then Rat.neg internal else internal in
-          Optimal { values; objective; pivots = !count }
+          (* Dual of row i from the reduced cost of its slack/artificial
+             column, mirroring the float engine's sign conventions: duals
+             are reported for the NORMALIZED rows (rhs >= 0); rows negated
+             by normalization carry a negated dual. Rows dropped as
+             redundant in phase 1 report a zero dual. *)
+          let row_duals =
+            Array.init m (fun i ->
+                if (not t.alive.(i)) || aux_col.(i) < 0 then Rat.zero
+                else begin
+                  let d = Rat.mul aux_sign.(i) t.cost.(aux_col.(i)) in
+                  if maximize then d else Rat.neg d
+                end)
+          in
+          Optimal { values; objective; row_duals; pivots = !count }
       end
   in
   Lp_counters.record_exact_solve ();

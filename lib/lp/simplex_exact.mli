@@ -10,6 +10,11 @@
 type solution = {
   values : Rat.t array; (** one value per structural variable *)
   objective : Rat.t;
+  row_duals : Rat.t array;
+      (** shadow price of each constraint, in input row order, following the
+          float engine's conventions: valid as-is for rows with non-negative
+          right-hand sides (rows normalized by negation get a flipped sign);
+          rows dropped as redundant during phase 1 report zero *)
   pivots : int;
       (** pivot count of this solve (both phases plus artificial purging);
           per-solve, never accumulated across calls *)

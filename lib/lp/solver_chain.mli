@@ -1,33 +1,50 @@
-(** Solver robustness chain: float simplex with an exact-arithmetic fallback.
+(** Solver robustness chain: revised simplex, dense simplex, exact fallback.
 
-    Degraded or near-degenerate platforms (the failure scenarios of the
-    resilience subsystem) produce LPs that can stall the float engine or
-    return numerically broken solutions. Rather than surfacing that as a
-    silent [None] bound, [solve_with_fallback] retries the {e same} model on
-    {!Simplex_exact}: every [Lp_model] coefficient is a float, hence a dyadic
-    rational, so the exact re-solve is faithful to the model as stated.
+    Every model runs through the same ladder. {!Revised_simplex} goes
+    first — sparse pricing, factorized basis, and the only engine that
+    can import/export warm-start bases. If it stalls or returns
+    non-finite numbers, the dense tableau {!Simplex} retries; if that
+    fails too (degraded or near-degenerate platforms from the resilience
+    subsystem produce such LPs), the {e same} model is re-solved on
+    {!Simplex_exact}: every [Lp_model] coefficient is a float, hence a
+    dyadic rational, so the exact re-solve is faithful to the model as
+    stated. The exact engine stays the cross-check oracle in tests.
 
-    The exact engine produces no dual values; a fallback solution carries
-    [row_duals = [||]] and is tagged [`Exact] so that column- and
-    cut-generation loops know to accept the current master optimum instead of
-    pricing further.
+    All three engines report duals: exact duals are converted with
+    {!Rat.to_float}, so cut- and column-generation loops can price after
+    any fallback. The [`Exact] tag still tells them the float engines had
+    trouble, which the column-generation loop uses to stop early rather
+    than iterate on a shaky model.
 
-    Observability (PR 4): every [solve_with_fallback] call runs inside an
-    [lp.solve] trace span tagged with the model size, the engine that won
-    ([float]/[exact]) and the final status; fallbacks to the exact engine
-    count under the [solver_chain.fallbacks] metric. Per-engine solve and
-    pivot totals live in {!Lp_counters} (a typed view over the metrics
-    registry). *)
+    Observability: every solve runs inside an [lp.solve] trace span
+    tagged with the model size, the engine that won
+    ([revised]/[float]/[exact]) and the final status. Falls from revised
+    to dense count under [solver_chain.revised_fallbacks]; falls from
+    dense to exact under [solver_chain.fallbacks]. Warm-start successes
+    count under [lp.warm.hits]. Per-engine solve and pivot totals live
+    in {!Lp_counters} (a typed view over the metrics registry). *)
 
 type status =
-  | Optimal of Simplex.solution * [ `Float | `Exact ]
-      (** [`Exact] solutions have [row_duals = [||]] (duals unavailable). *)
+  | Optimal of Simplex.solution * [ `Revised | `Float | `Exact ]
+      (** which engine produced the accepted solution *)
   | Infeasible
   | Unbounded
 
-(** [solve_with_fallback ?max_iter model] runs {!Simplex.solve} and, when it
-    stalls or returns a non-finite solution, re-solves exactly. [max_iter] is
-    forwarded to the float engine. *)
+(** [solve_warm ?max_iter ?warm model] runs the chain, seeding the
+    revised engine with [warm] (a basis exported from a related solve —
+    see {!Revised_simplex.warm}). Returns the status plus the optimal
+    basis when the revised engine won, for the caller to thread into its
+    next solve. A useless warm basis costs a cold restart inside the
+    revised engine, never a different verdict. [max_iter] is forwarded
+    to both float engines. *)
+val solve_warm :
+  ?max_iter:int ->
+  ?warm:Revised_simplex.warm ->
+  Lp_model.t ->
+  status * Revised_simplex.warm option
+
+(** [solve_with_fallback ?max_iter model] is [solve_warm] without basis
+    plumbing: cold solve, basis dropped. *)
 val solve_with_fallback : ?max_iter:int -> Lp_model.t -> status
 
 (** [solve_exact model] solves the model directly on {!Simplex_exact}

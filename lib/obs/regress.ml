@@ -5,9 +5,15 @@ type rule = { r_prefix : string; r_dir : direction; r_tol : float }
 let default_rules ?(tolerance = 0.25) ?time_tolerance () =
   let tt = match time_tolerance with Some t -> t | None -> Float.max 1.0 (4.0 *. tolerance) in
   [
+    (* Before the generic "lp.pivots" prefix rule: the float-engine pivot
+       total is the warm-start pipeline's primary win (PR 8) and gets its
+       own first-match entry so a report names it explicitly. *)
+    { r_prefix = "lp.pivots.float"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "lp.pivots"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "lp.solves"; r_dir = Not_above; r_tol = tolerance };
+    { r_prefix = "lp.warm.hits"; r_dir = Not_below; r_tol = tolerance };
     { r_prefix = "formulations.lb_cut_rounds.sum"; r_dir = Not_above; r_tol = tolerance };
+    { r_prefix = "solver_chain.revised_fallbacks"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "solver_chain.fallbacks"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "heuristics.method_seconds.sum"; r_dir = Not_above; r_tol = tt };
     { r_prefix = "pool.task_seconds.sum"; r_dir = Not_above; r_tol = tt };

@@ -174,11 +174,12 @@ let test_fallback_on_stall () =
   | _ -> Alcotest.fail "fallback did not recover the optimum"
 
 let test_fallback_passthrough () =
-  (* A healthy model stays on the float engine... *)
+  (* A healthy model stays on the first engine of the chain... *)
   let m = stall_model () in
   (match Solver_chain.solve_with_fallback m with
-  | Solver_chain.Optimal (sol, `Float) -> check_f "float objective" 3.0 sol.Simplex.objective
-  | _ -> Alcotest.fail "expected a float optimum");
+  | Solver_chain.Optimal (sol, `Revised) ->
+    check_f "revised objective" 3.0 sol.Simplex.objective
+  | _ -> Alcotest.fail "expected a revised-engine optimum");
   (* ...and infeasibility is never masked by the fallback. *)
   let m = Lp_model.create () in
   let x = Lp_model.add_var m "x" in
@@ -188,6 +189,191 @@ let test_fallback_passthrough () =
   match Solver_chain.solve_with_fallback ~max_iter:0 m with
   | Solver_chain.Infeasible -> ()
   | _ -> Alcotest.fail "expected infeasible from the exact engine"
+
+(* Regression (PR 8): exact-fallback solutions used to come back with
+   row_duals = [||], so any consumer pricing after a fallback read off the
+   end of the array. Force the fallback with a zero pivot budget and read
+   a dual through it. *)
+let test_fallback_duals () =
+  let m = stall_model () in
+  match Solver_chain.solve_with_fallback ~max_iter:0 m with
+  | Solver_chain.Optimal (sol, `Exact) ->
+    Alcotest.(check int) "dual per row" 2 (Array.length sol.Simplex.row_duals);
+    (* max x st x <= 3 (binding, shadow price 1), x >= 1 (slack). *)
+    check_f "binding row dual" 1.0 sol.Simplex.row_duals.(0);
+    check_f "slack row dual" 0.0 sol.Simplex.row_duals.(1)
+  | _ -> Alcotest.fail "expected the exact fallback"
+
+(* Exact duals follow the float engine's conventions: same model, same
+   duals, on a mixed instance where all engines are nondegenerate. *)
+let test_exact_duals_match_float () =
+  let mk () =
+    let m = Lp_model.create () in
+    let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+    Lp_model.add_constraint m [ (1.0, x) ] Le 4.0;
+    Lp_model.add_constraint m [ (2.0, y) ] Le 12.0;
+    Lp_model.add_constraint m [ (3.0, x); (2.0, y) ] Le 18.0;
+    Lp_model.set_objective m ~maximize:true [ (3.0, x); (5.0, y) ];
+    m
+  in
+  let dense = Simplex.solve_exn (mk ()) in
+  match Solver_chain.solve_exact (mk ()) with
+  | Solver_chain.Optimal (exact, `Exact) ->
+    Array.iteri
+      (fun i d -> check_f (Printf.sprintf "row %d dual" i) d exact.Simplex.row_duals.(i))
+      dense.Simplex.row_duals
+  | _ -> Alcotest.fail "exact solve failed"
+
+(* Regression (PR 8): the Bland anti-cycling latch must be one-way. The old
+   controller re-armed Dantzig whenever the objective moved, so a cycle
+   alternating tiny progress with degenerate stretches escaped Bland
+   forever. *)
+let test_bland_latch_is_one_way () =
+  let ac = Simplex.Anti_cycle.create 0.0 in
+  for _ = 1 to Simplex.stall_window + 2 do
+    Simplex.Anti_cycle.observe ac 0.0
+  done;
+  Alcotest.(check bool) "latch engages after a stall" true (Simplex.Anti_cycle.bland ac);
+  Simplex.Anti_cycle.observe ac 1.0;
+  Alcotest.(check bool) "progress does not release the latch" true
+    (Simplex.Anti_cycle.bland ac);
+  (* Progress before the window fills keeps Dantzig. *)
+  let ac2 = Simplex.Anti_cycle.create 0.0 in
+  for i = 1 to 10 * Simplex.stall_window do
+    Simplex.Anti_cycle.observe ac2 (float_of_int i)
+  done;
+  Alcotest.(check bool) "improving run stays on Dantzig" false (Simplex.Anti_cycle.bland ac2)
+
+(* Regression (PR 8): the eager-eviction rule in the ratio test used a
+   magic 1e-7 pivot tolerance while the rest of the engine uses
+   epsilon = 1e-9. An equality row coupling x to y with a 1e-8 coefficient
+   fell in the gap: its zero-valued artificial was never evicted, and the
+   claimed optimum violated the equality by 1e-2. *)
+let near_degenerate_model () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x); (-1e-8, y) ] Eq 0.0;
+  Lp_model.add_constraint m [ (1.0, y) ] Le 1e6;
+  Lp_model.set_objective m ~maximize:true [ (1.0, y) ];
+  m
+
+let check_near_degenerate name (values : float array) (objective : float) =
+  Alcotest.(check (float 1e-3)) (name ^ ": objective") 1e6 objective;
+  let residual = abs_float (values.(0) -. (1e-8 *. values.(1))) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: equality row satisfied (residual %.2e)" name residual)
+    true (residual < 1e-6)
+
+let test_tiny_pivot_eviction_dense () =
+  let s = Simplex.solve_exn (near_degenerate_model ()) in
+  check_near_degenerate "dense" s.Simplex.values s.Simplex.objective
+
+let test_tiny_pivot_eviction_revised () =
+  match Revised_simplex.solve (near_degenerate_model ()) with
+  | Revised_simplex.Optimal s ->
+    check_near_degenerate "revised" s.Revised_simplex.values s.Revised_simplex.objective
+  | _ -> Alcotest.fail "revised engine failed the near-degenerate model"
+
+(* --- revised engine: cold correctness, warm starts, dual simplex --- *)
+
+let test_revised_classic () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x) ] Le 4.0;
+  Lp_model.add_constraint m [ (2.0, y) ] Le 12.0;
+  Lp_model.add_constraint m [ (3.0, x); (2.0, y) ] Le 18.0;
+  Lp_model.set_objective m ~maximize:true [ (3.0, x); (5.0, y) ];
+  match Revised_simplex.solve m with
+  | Revised_simplex.Optimal s ->
+    check_f "objective" 36.0 s.Revised_simplex.objective;
+    check_f "x" 2.0 s.Revised_simplex.values.(x);
+    check_f "y" 6.0 s.Revised_simplex.values.(y);
+    (* Unique primal/dual optimum: duals must match the dense engine. *)
+    check_f "dual row 0" 0.0 s.Revised_simplex.row_duals.(0);
+    check_f "dual row 1" 1.5 s.Revised_simplex.row_duals.(1);
+    check_f "dual row 2" 1.0 s.Revised_simplex.row_duals.(2);
+    Alcotest.(check int) "basis size" 3
+      (Array.length s.Revised_simplex.basis.Revised_simplex.wcols);
+    Alcotest.(check bool) "cold solve" false s.Revised_simplex.warm_used
+  | _ -> Alcotest.fail "revised engine failed the classic model"
+
+(* Warm start across a model change that invalidates primal feasibility
+   but not dual feasibility — the cut-generation shape: re-solving after
+   adding a violated row must go through the dual simplex and cost fewer
+   pivots than a cold solve of the extended model. *)
+let warm_base_model () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m ~name:"cx" [ (1.0, x) ] Le 10.0;
+  Lp_model.add_constraint m ~name:"cy" [ (1.0, y) ] Le 10.0;
+  Lp_model.add_constraint m ~name:"mix" [ (1.0, x); (2.0, y) ] Le 25.0;
+  Lp_model.set_objective m ~maximize:true [ (2.0, x); (1.0, y) ];
+  m
+
+let warm_extended_model () =
+  let m = warm_base_model () in
+  (* Cuts off the old optimum (10, 7.5): stated as Ge with negative rhs so
+     it normalizes to a Le row, keeping the model artificial-free. *)
+  Lp_model.add_constraint m ~name:"cut"
+    [ (-1.0, Lp_model.var m "x"); (-1.0, Lp_model.var m "y") ]
+    Ge (-12.0);
+  m
+
+let test_revised_warm_dual_resolve () =
+  let base =
+    match Revised_simplex.solve (warm_base_model ()) with
+    | Revised_simplex.Optimal s -> s
+    | _ -> Alcotest.fail "base solve failed"
+  in
+  check_f "base objective" 27.5 base.Revised_simplex.objective;
+  let cold =
+    match Revised_simplex.solve (warm_extended_model ()) with
+    | Revised_simplex.Optimal s -> s
+    | _ -> Alcotest.fail "cold extended solve failed"
+  in
+  check_f "cold extended objective" 22.0 cold.Revised_simplex.objective;
+  match Revised_simplex.solve ~warm:base.Revised_simplex.basis (warm_extended_model ()) with
+  | Revised_simplex.Optimal warm ->
+    Alcotest.(check bool) "warm path used" true warm.Revised_simplex.warm_used;
+    check_f "warm extended objective" 22.0 warm.Revised_simplex.objective;
+    Alcotest.(check bool)
+      (Printf.sprintf "warm pivots (%d) < cold pivots (%d)" warm.Revised_simplex.pivots
+         cold.Revised_simplex.pivots)
+      true
+      (warm.Revised_simplex.pivots < cold.Revised_simplex.pivots)
+  | _ -> Alcotest.fail "warm extended solve failed"
+
+(* A nonsense warm basis must cost only a cold restart, never a wrong
+   verdict. *)
+let test_revised_warm_garbage () =
+  let warm =
+    {
+      Revised_simplex.wcols = [| "no_such_var"; "s:no_such_row"; "x" |];
+      wrows = [| "no_such_row"; "cx" |];
+    }
+  in
+  match Revised_simplex.solve ~warm (warm_base_model ()) with
+  | Revised_simplex.Optimal s ->
+    check_f "objective unchanged" 27.5 s.Revised_simplex.objective
+  | _ -> Alcotest.fail "garbage warm basis changed the verdict"
+
+(* Warm caller on a model with equality rows: the warm path must be
+   skipped (artificials present), not crash or misbehave. *)
+let test_revised_warm_skipped_on_artificials () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m "x" and y = Lp_model.add_var m "y" in
+  Lp_model.add_constraint m [ (1.0, x); (1.0, y) ] Eq 3.0;
+  Lp_model.add_constraint m [ (1.0, x); (-1.0, y) ] Eq 1.0;
+  Lp_model.set_objective m ~maximize:true [ (1.0, x); (1.0, y) ];
+  match
+    Revised_simplex.solve
+      ~warm:{ Revised_simplex.wcols = [| "x"; "y" |]; wrows = [| "r0"; "r1" |] }
+      m
+  with
+  | Revised_simplex.Optimal s ->
+    check_f "objective" 3.0 s.Revised_simplex.objective;
+    Alcotest.(check bool) "warm path skipped" false s.Revised_simplex.warm_used
+  | _ -> Alcotest.fail "equality model failed"
 
 (* --- engines agree on random bounded instances --- *)
 
@@ -259,9 +445,53 @@ let engines_agree lp =
   abs_float (float_sol.Simplex.objective -. Rat.to_float exact.Simplex_exact.objective)
   < 1e-6
 
+let model_of_rand_lp lp =
+  let m = Lp_model.create () in
+  let vars = Array.init lp.nv (fun i -> Lp_model.add_var m (Printf.sprintf "v%d" i)) in
+  List.iter
+    (fun (coefs, rhs) ->
+      let expr =
+        List.filter_map
+          (fun i -> if coefs.(i) <> 0 then Some (float_of_int coefs.(i), vars.(i)) else None)
+          (List.init lp.nv Fun.id)
+      in
+      Lp_model.add_constraint m expr Le (float_of_int rhs))
+    lp.rows_i;
+  Lp_model.set_objective m ~maximize:true
+    (List.init lp.nv (fun i -> (float_of_int lp.obj.(i), vars.(i))));
+  m
+
+(* Revised vs dense vs warm-restarted-revised: all three must agree with
+   the dense engine's objective, and re-solving warm from the revised
+   engine's own optimal basis must stay at the optimum. *)
+let revised_agrees lp =
+  let dense = Simplex.solve_exn (model_of_rand_lp lp) in
+  match Revised_simplex.solve (model_of_rand_lp lp) with
+  | Revised_simplex.Optimal r ->
+    let close a b = abs_float (a -. b) < 1e-6 *. (1.0 +. abs_float a) in
+    close dense.Simplex.objective r.Revised_simplex.objective
+    && List.for_all
+         (fun (coefs, rhs) ->
+           let lhs = ref 0.0 in
+           Array.iteri
+             (fun i c -> lhs := !lhs +. (float_of_int c *. r.Revised_simplex.values.(i)))
+             coefs;
+           !lhs <= float_of_int rhs +. 1e-6)
+         lp.rows_i
+    && Array.for_all (fun v -> v >= -1e-9) r.Revised_simplex.values
+    &&
+    (match Revised_simplex.solve ~warm:r.Revised_simplex.basis (model_of_rand_lp lp) with
+    | Revised_simplex.Optimal w ->
+      w.Revised_simplex.warm_used
+      && close dense.Simplex.objective w.Revised_simplex.objective
+      && w.Revised_simplex.pivots <= r.Revised_simplex.pivots
+    | _ -> false)
+  | _ -> false
+
 let lp_props =
   [
     prop "float and exact engines agree" 150 arb_rand_lp engines_agree;
+    prop "revised engine agrees and restarts warm" 150 arb_rand_lp revised_agrees;
     prop "optimal solutions are feasible" 150 arb_rand_lp (fun lp ->
         let m = Lp_model.create () in
         let vars = Array.init lp.nv (fun i -> Lp_model.add_var m (Printf.sprintf "v%d" i)) in
@@ -303,5 +533,14 @@ let suite =
     ("exact: statuses", `Quick, test_exact_statuses);
     ("fallback: stalled float rescued exactly", `Quick, test_fallback_on_stall);
     ("fallback: passthrough and infeasible", `Quick, test_fallback_passthrough);
+    ("fallback: exact solutions carry duals", `Quick, test_fallback_duals);
+    ("exact duals match the float engine", `Quick, test_exact_duals_match_float);
+    ("anti-cycle: Bland latch is one-way", `Quick, test_bland_latch_is_one_way);
+    ("tiny-pivot eviction: dense", `Quick, test_tiny_pivot_eviction_dense);
+    ("tiny-pivot eviction: revised", `Quick, test_tiny_pivot_eviction_revised);
+    ("revised: classic with duals and basis", `Quick, test_revised_classic);
+    ("revised: warm dual re-solve beats cold", `Quick, test_revised_warm_dual_resolve);
+    ("revised: garbage warm basis is harmless", `Quick, test_revised_warm_garbage);
+    ("revised: warm skipped on artificials", `Quick, test_revised_warm_skipped_on_artificials);
   ]
   @ lp_props

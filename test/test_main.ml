@@ -18,6 +18,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("soak", Test_soak.suite);
       ("robust", Test_robust.suite);
+      ("warm", Test_warm.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
