@@ -1054,6 +1054,155 @@ let soak_bench () =
   Printf.printf "soak summary: %s\n" fname
 
 (* ------------------------------------------------------------------ *)
+(* S1 — online sessions: incremental warm re-planning vs per-epoch cold
+   re-plans, on identical seeded workloads and fault scenarios. *)
+
+let sessions_bench () =
+  banner "S1 / sessions — incremental warm re-planning vs per-epoch cold re-plans";
+  let seeds = max 1 !trials in
+  let horizon = Rat.of_int (if !fast then 200 else 300) in
+  (* Long-lived sessions at modest demand fractions: plenty of quiet
+     epochs where incremental planning has nothing to do while cold mode
+     still pays one MCPH + LP solve per live session. Flash crowds are
+     off — a crowd's admission burst costs both modes the same and would
+     only blur the per-epoch latency contrast under study. *)
+  let wl_params =
+    {
+      Workload.default_params with
+      arrival_rate = 0.08;
+      hold_mean = 100.0;
+      demand_frac = (0.1, 0.35);
+      flash_rate = 0.0;
+    }
+  in
+  let burst_at = Rat.div horizon (Rat.of_int 2) in
+  let inc_secs = ref [] and cold_secs = ref [] in
+  let inc_replans = ref 0 and cold_replans = ref 0 and skipped = ref 0 in
+  let inc_admitted = ref 0 and cold_admitted = ref 0 in
+  let admitted_equal = ref true in
+  let inc_rate = ref 0.0 and cold_rate = ref 0.0 in
+  let offered = ref 0 and ran = ref 0 in
+  Printf.printf "seeds: %d; tiers-small (8 targets), horizon %s, epoch %s, burst at %s\n%!"
+    seeds (Rat.to_string horizon)
+    (Rat.to_string Horizon.default_config.Horizon.epoch)
+    (Rat.to_string burst_at);
+  Printf.printf "%6s %8s | %9s %9s | %9s %9s %8s | %10s %10s\n" "seed" "offered"
+    "inc-adm" "cold-adm" "inc-rpl" "cold-rpl" "skipped" "inc-p99" "cold-p99";
+  for seed = 1 to seeds do
+    let p =
+      Tiers.generate (Random.State.make [| seed; 6271 |]) Tiers.small_params ~n_targets:8
+    in
+    let sessions =
+      Workload.generate (Random.State.make [| seed; 9001 |]) p wl_params ~horizon
+    in
+    let faults =
+      Fault.random_burst (Random.State.make [| seed; 9002 |]) p ~k:3 ~window:Rat.one
+        ~at:burst_at
+    in
+    let run mode =
+      let config = { Horizon.default_config with Horizon.replan_mode = mode } in
+      match Horizon.run ~config ~faults p sessions ~horizon with
+      | Error e -> failwith ("sessions bench: " ^ e)
+      | Ok rep -> rep
+    in
+    let inc = run `Incremental in
+    let cold = run `Cold in
+    incr ran;
+    offered := !offered + List.length sessions;
+    if inc.Horizon.hz_admitted <> cold.Horizon.hz_admitted then admitted_equal := false;
+    inc_admitted := !inc_admitted + inc.Horizon.hz_admitted;
+    cold_admitted := !cold_admitted + cold.Horizon.hz_admitted;
+    inc_replans := !inc_replans + inc.Horizon.hz_replans;
+    cold_replans := !cold_replans + cold.Horizon.hz_replans;
+    skipped := !skipped + inc.Horizon.hz_replans_skipped;
+    inc_rate := !inc_rate +. inc.Horizon.hz_admitted_rate_sum;
+    cold_rate := !cold_rate +. cold.Horizon.hz_admitted_rate_sum;
+    let push acc rep =
+      List.iter
+        (fun (e : Horizon.epoch_record) -> acc := e.Horizon.ep_seconds :: !acc)
+        rep.Horizon.hz_epochs
+    in
+    push inc_secs inc;
+    push cold_secs cold;
+    Printf.printf "%6d %8d | %9d %9d | %9d %9d %8d | %10.4f %10.4f\n%!" seed
+      (List.length sessions) inc.Horizon.hz_admitted cold.Horizon.hz_admitted
+      inc.Horizon.hz_replans cold.Horizon.hz_replans inc.Horizon.hz_replans_skipped
+      inc.Horizon.hz_p99_epoch_seconds cold.Horizon.hz_p99_epoch_seconds
+  done;
+  (* Nearest-rank percentile over all epochs of all seeds: per-seed p99
+     on ~60 epochs is just the max, which a single heavy admission epoch
+     (identical work in both modes) can dominate. *)
+  let percentile q xs =
+    match List.sort compare xs with
+    | [] -> nan
+    | sorted ->
+      let n = List.length sorted in
+      let idx = min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1) in
+      List.nth sorted (max 0 idx)
+  in
+  let inc_p99 = percentile 0.99 !inc_secs and cold_p99 = percentile 0.99 !cold_secs in
+  let p99_ratio = if inc_p99 > 0.0 then cold_p99 /. inc_p99 else infinity in
+  let replan_ratio =
+    if !inc_replans > 0 then float_of_int !cold_replans /. float_of_int !inc_replans
+    else infinity
+  in
+  Printf.printf "admissions:  incremental %d, cold %d of %d offered (equal per seed: %b)\n"
+    !inc_admitted !cold_admitted !offered !admitted_equal;
+  Printf.printf "re-plans:    incremental %d (+%d skipped), cold %d (%.1fx more)\n"
+    !inc_replans !skipped !cold_replans replan_ratio;
+  Printf.printf "epoch p99:   incremental %.4fs, cold %.4fs (%.1fx)\n" inc_p99 cold_p99
+    p99_ratio;
+  Printf.printf "rate sums:   incremental %.4f, cold %.4f msg/unit\n" !inc_rate !cold_rate;
+  let ok_admit = !ran > 0 && !admitted_equal in
+  let ok_p99 = !ran > 0 && cold_p99 >= 3.0 *. inc_p99 in
+  let ok_skip = !skipped > !inc_replans in
+  Printf.printf
+    "shape check: incremental admits exactly the sessions cold admits — %s\n"
+    (if ok_admit then "OK" else "MISMATCH");
+  Printf.printf
+    "shape check: incremental beats cold by >= 3x p99 epoch latency — %s\n"
+    (if ok_p99 then "OK" else "MISMATCH");
+  Printf.printf "shape check: most per-epoch re-plan work is skipped — %s\n"
+    (if ok_skip then "OK" else "MISMATCH");
+  ensure_out_dir ();
+  let buf = Buffer.create 1024 in
+  let fld ?(indent = "  ") last name v =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%S: %s%s\n" indent name v (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  fld false "platform" "\"tiers-small (8 targets)\"";
+  fld false "workload"
+    "\"Poisson 0.08/unit, Pareto hold mean 100, demand 10-35% of standalone\"";
+  fld false "scenario" (Printf.sprintf "\"burst: 3 links at t=%s\"" (Rat.to_string burst_at));
+  fld false "horizon" (Rat.to_string horizon);
+  fld false "seeds" (string_of_int seeds);
+  fld false "offered" (string_of_int !offered);
+  fld false "admitted_incremental" (string_of_int !inc_admitted);
+  fld false "admitted_cold" (string_of_int !cold_admitted);
+  fld false "replans_incremental" (string_of_int !inc_replans);
+  fld false "replans_skipped" (string_of_int !skipped);
+  fld false "replans_cold" (string_of_int !cold_replans);
+  fld false "replan_ratio"
+    (if Float.is_finite replan_ratio then Printf.sprintf "%.4f" replan_ratio
+     else "\"inf\"");
+  fld false "p99_epoch_seconds_incremental" (Printf.sprintf "%.6f" inc_p99);
+  fld false "p99_epoch_seconds_cold" (Printf.sprintf "%.6f" cold_p99);
+  fld false "p99_ratio"
+    (if Float.is_finite p99_ratio then Printf.sprintf "%.4f" p99_ratio else "\"inf\"");
+  fld false "admitted_rate_sum_incremental" (Printf.sprintf "%.6f" !inc_rate);
+  fld false "admitted_rate_sum_cold" (Printf.sprintf "%.6f" !cold_rate);
+  Buffer.add_string buf "  \"shape\": {\n";
+  fld ~indent:"    " false "admissions_equal" (if ok_admit then "true" else "false");
+  fld ~indent:"    " false "p99_3x_faster" (if ok_p99 then "true" else "false");
+  fld ~indent:"    " true "most_replans_skipped" (if ok_skip then "true" else "false");
+  Buffer.add_string buf "  }\n}\n";
+  let fname = bench_json_file 8 in
+  let oc = open_out fname in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "sessions summary: %s\n" fname
+
+(* ------------------------------------------------------------------ *)
 (* E11 — Theorem 5: prefix gadget.                                      *)
 
 let prefix () =
@@ -1427,6 +1576,7 @@ let () =
   if want "robust" then robust ();
   if want "storms" then storms ();
   if want "soak" then soak_bench ();
+  if want "sessions" || want "s1" then sessions_bench ();
   if want "pseries" then pseries ();
   if want "hseries" then hseries ();
   if want "prefix" then prefix ();

@@ -12,6 +12,8 @@
                          (--online drives the recovery-loop controller)
      robust              proactive robust planning: worst-case retention report
      soak                chaos soak: continuous recovery over a fail/repair timeline
+     sessions            online session engine: rolling-horizon admission and
+                         incremental re-planning over a churning session stream
      profile             run a workload under tracing, print a self-time profile
      prefix              Theorem 5 parallel-prefix gadget walk-through
      gadget              set-cover gadget and the Theorem 1 correspondence *)
@@ -794,6 +796,194 @@ let soak_cmd =
       $ wave_factor $ wave_rate $ controller $ tokens $ token_refill $ hysteresis
       $ min_availability $ show_log $ trace_arg $ metrics_arg)
 
+(* --- sessions --- *)
+
+let sessions file kind seed n_targets horizon arrival_rate hold_mean demand_lo
+    demand_hi flash_rate epoch mode jobs scenario_kind mtbf mttr burst_k burst_at
+    min_admitted show_digest show_epochs trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
+  with_seed_reporting ~seed @@ fun () ->
+  let p =
+    match file with
+    | Some _ -> read_platform file
+    | None ->
+      let rng = Random.State.make [| seed |] in
+      platform_of_kind rng kind ~n_targets
+  in
+  let horizon = rat_arg ~what:"--horizon" horizon in
+  if Rat.sign horizon <= 0 then failwith "--horizon must be positive";
+  let params =
+    {
+      Workload.default_params with
+      arrival_rate;
+      hold_mean;
+      demand_frac = (demand_lo, demand_hi);
+      flash_rate;
+    }
+  in
+  (match Workload.validate_params params with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (* Distinct seed streams so tweaking the fault scenario never perturbs
+     the offered workload (the same separation soak uses). *)
+  let workload =
+    Workload.generate (Random.State.make [| seed; 9001 |]) p params ~horizon
+  in
+  let frng = Random.State.make [| seed; 9002 |] in
+  let faults =
+    match scenario_kind with
+    | "none" -> []
+    | "renewal" -> Fault.renewal_link_faults frng p ~mtbf ~mttr ~horizon
+    | "burst" ->
+      Fault.random_burst frng p ~k:burst_k ~window:Rat.one
+        ~at:(rat_arg ~what:"--burst-at" burst_at)
+    | "flapping" ->
+      Fault.flapping_links frng p ~links:3 ~flaps:6 ~mean_up:40. ~mean_down:5.
+        ~at:Rat.zero
+    | other -> failwith ("unknown --scenario kind: " ^ other)
+  in
+  let mode =
+    match mode with
+    | "incremental" -> `Incremental
+    | "cold" -> `Cold
+    | other -> failwith ("unknown --mode: " ^ other)
+  in
+  let config =
+    {
+      Horizon.default_config with
+      epoch = rat_arg ~what:"--epoch" epoch;
+      replan_mode = mode;
+      jobs;
+    }
+  in
+  Printf.printf "%s\n" (Platform.describe p);
+  Printf.printf "workload: %s\n" (Workload.describe workload);
+  Printf.printf "scenario: %s, %d fault events, horizon %s, epoch %s (%s)\n"
+    scenario_kind (List.length faults) (Rat.to_string horizon)
+    (Rat.to_string config.Horizon.epoch)
+    (match mode with `Incremental -> "incremental" | `Cold -> "cold");
+  match Horizon.run ~config ~faults p workload ~horizon with
+  | Error e -> failwith ("sessions rejected: " ^ e)
+  | Ok rep ->
+    Format.printf "%a@." Horizon.pp_report rep;
+    if show_epochs then begin
+      Printf.printf "epoch log:\n";
+      List.iter
+        (fun e ->
+          if
+            e.Horizon.ep_arrivals + e.Horizon.ep_replans + e.Horizon.ep_suspended > 0
+          then
+            Printf.printf
+              "  epoch %3d t=%-6s %d arrivals, %d admitted, %d rejected, %d \
+               preempted, %d replans (%d skipped), %d active\n"
+              e.Horizon.ep_index
+              (Rat.to_string e.Horizon.ep_time)
+              e.Horizon.ep_arrivals e.Horizon.ep_admitted e.Horizon.ep_rejected
+              e.Horizon.ep_preempted e.Horizon.ep_replans
+              e.Horizon.ep_replans_skipped e.Horizon.ep_active)
+        rep.Horizon.hz_epochs
+    end;
+    if show_digest then Printf.printf "digest: %s\n" (Horizon.digest rep);
+    print_perf_counters ();
+    (match min_admitted with
+    | Some m when rep.Horizon.hz_admitted < m ->
+      Printf.eprintf "sessions: admitted %d below the required %d\n%!"
+        rep.Horizon.hz_admitted m;
+      exit_with_seed ~seed 1
+    | _ -> ())
+
+let sessions_cmd =
+  let kind =
+    let doc = "Platform kind when no file is given (see $(b,generate))." in
+    Arg.(value & opt string "tiers-small" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_targets =
+    let doc = "Number of multicast targets for generated platforms." in
+    Arg.(value & opt int 8 & info [ "targets" ] ~docv:"N" ~doc)
+  in
+  let horizon =
+    let doc = "Simulated horizon (rational time units)." in
+    Arg.(value & opt string "300" & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let arrival_rate =
+    let doc = "Mean session arrivals per time unit." in
+    Arg.(value & opt float 0.1 & info [ "arrival-rate" ] ~docv:"R" ~doc)
+  in
+  let hold_mean =
+    let doc = "Mean session holding time (heavy-tailed Pareto)." in
+    Arg.(value & opt float 80. & info [ "hold-mean" ] ~docv:"T" ~doc)
+  in
+  let demand_lo =
+    let doc = "Lower demand fraction of a session's standalone capacity." in
+    Arg.(value & opt float 0.3 & info [ "demand-lo" ] ~docv:"F" ~doc)
+  in
+  let demand_hi =
+    let doc = "Upper demand fraction of a session's standalone capacity." in
+    Arg.(value & opt float 0.9 & info [ "demand-hi" ] ~docv:"F" ~doc)
+  in
+  let flash_rate =
+    let doc = "Flash crowds per time unit (0 disables them)." in
+    Arg.(value & opt float 0.005 & info [ "flash-rate" ] ~docv:"R" ~doc)
+  in
+  let epoch =
+    let doc = "Planning epoch length (rational time units)." in
+    Arg.(value & opt string "5" & info [ "epoch" ] ~docv:"T" ~doc)
+  in
+  let mode =
+    let doc =
+      "Re-planning mode: $(b,incremental) (change-driven, warm-started) or \
+       $(b,cold) (every live session from scratch each epoch — the S1 ablation \
+       baseline). Both modes admit the same sessions at the same rates."
+    in
+    Arg.(value & opt string "incremental" & info [ "mode" ] ~docv:"M" ~doc)
+  in
+  let scenario =
+    let doc =
+      "Fault timeline: $(b,none), $(b,renewal) (per-link fail/repair renewal \
+       process), $(b,burst) (one correlated failure burst), or $(b,flapping)."
+    in
+    Arg.(value & opt string "none" & info [ "scenario" ] ~docv:"KIND" ~doc)
+  in
+  let mtbf =
+    let doc = "Mean time between failures (renewal scenario)." in
+    Arg.(value & opt float 1500. & info [ "mtbf" ] ~docv:"T" ~doc)
+  in
+  let mttr =
+    let doc = "Mean time to repair (renewal scenario)." in
+    Arg.(value & opt float 30. & info [ "mttr" ] ~docv:"T" ~doc)
+  in
+  let burst_k =
+    let doc = "Entities killed by the burst scenario." in
+    Arg.(value & opt int 4 & info [ "burst-k" ] ~docv:"N" ~doc)
+  in
+  let burst_at =
+    let doc = "Burst instant (rational)." in
+    Arg.(value & opt string "150" & info [ "burst-at" ] ~docv:"T" ~doc)
+  in
+  let min_admitted =
+    let doc = "Exit nonzero when fewer than $(docv) sessions are admitted (CI gate)." in
+    Arg.(value & opt (some int) None & info [ "min-admitted" ] ~docv:"N" ~doc)
+  in
+  let show_digest =
+    let doc =
+      "Print the decision digest (bit-identical across $(b,--jobs) values)."
+    in
+    Arg.(value & flag & info [ "digest" ] ~doc)
+  in
+  let show_epochs =
+    let doc = "Print the per-epoch log (epochs with any activity)." in
+    Arg.(value & flag & info [ "epochs" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:"Online session engine: rolling-horizon admission, incremental \
+             re-planning and priority preemption over a churning session stream")
+    Term.(
+      const sessions $ platform_arg $ kind $ seed_arg $ n_targets $ horizon
+      $ arrival_rate $ hold_mean $ demand_lo $ demand_hi $ flash_rate $ epoch $ mode
+      $ jobs_arg $ scenario $ mtbf $ mttr $ burst_k $ burst_at $ min_admitted
+      $ show_digest $ show_epochs $ trace_arg $ metrics_arg)
+
 (* --- profile --- *)
 
 (* Run one of the existing workloads under tracing and distill the span
@@ -1113,6 +1303,7 @@ let main_cmd =
       resilience_cmd;
       robust_cmd;
       soak_cmd;
+      sessions_cmd;
       profile_cmd;
       prefix_cmd;
       gadget_cmd;

@@ -326,10 +326,29 @@ let solve_sum (p : Platform.t) groups =
 
 type warm_basis = Revised_simplex.warm
 
-let solve_max ?(two_sided = true) ?warm ?(chain = true) (p : Platform.t) =
+(* Port capacities (the session engine's capacity sharing, PR 9): the
+   one-port rows default to the paper's full time unit, but a caller
+   co-scheduling several sessions on one platform passes the *residual*
+   capacity of every send/receive port — one time unit minus what the
+   other sessions' plans already occupy. Only the right-hand sides
+   change: variables, row names and coefficients are identical to the
+   full-capacity model, so a warm basis ports freely between epochs
+   whose residuals differ — a pure-rhs re-solve is the dual simplex's
+   best case, which is what makes per-epoch incremental re-optimization
+   cheap. *)
+let cap_of caps j = match caps with None -> 1.0 | Some a -> Float.max 0.0 a.(j)
+
+let solve_max ?(two_sided = true) ?warm ?(chain = true) ?send_cap ?recv_cap
+    (p : Platform.t) =
   let g = p.Platform.graph in
   let source = p.Platform.source in
   let targets = p.Platform.targets in
+  (match (send_cap, recv_cap) with
+  | Some a, _ when Array.length a <> Digraph.n_nodes g ->
+    invalid_arg "Formulations: send_cap length must match the node count"
+  | _, Some a when Array.length a <> Digraph.n_nodes g ->
+    invalid_arg "Formulations: recv_cap length must match the node count"
+  | _ -> ());
   if not (Traversal.reaches_all g source targets) then None
   else begin
     let edges = Array.of_list (Digraph.edges g) in
@@ -449,11 +468,13 @@ let solve_max ?(two_sided = true) ?warm ?(chain = true) (p : Platform.t) =
         let out = port_row out_edge_ids.(j) in
         let out_name = Printf.sprintf "out%d" j in
         if out <> [] then
-          Lp_model.add_constraint m ~name:out_name out Le (1.0 +. eps_of out_name);
+          Lp_model.add_constraint m ~name:out_name out Le
+            (cap_of send_cap j +. eps_of out_name);
         let inp = port_row in_edge_ids.(j) in
         let in_name = Printf.sprintf "in%d" j in
         if inp <> [] then
-          Lp_model.add_constraint m ~name:in_name inp Le (1.0 +. eps_of in_name)
+          Lp_model.add_constraint m ~name:in_name inp Le
+            (cap_of recv_cap j +. eps_of in_name)
       done;
       List.iter
         (fun cut ->
@@ -599,14 +620,14 @@ let multicast_ub_colgen (p : Platform.t) =
   formulation_span "formulations.multicast_ub_colgen" p (fun () ->
       solve_sum_colgen p (List.map (fun t -> (t, [ p.Platform.source ])) p.Platform.targets))
 
-let solve_max_counted ?two_sided ?warm ?chain p =
-  let r = solve_max ?two_sided ?warm ?chain p in
+let solve_max_counted ?two_sided ?warm ?chain ?send_cap ?recv_cap p =
+  let r = solve_max ?two_sided ?warm ?chain ?send_cap ?recv_cap p in
   (match r with
   | Some (_, rounds, _) -> Metrics.observe lb_rounds (float_of_int rounds)
   | None -> ());
   r
 
-let multicast_lb_warm ?warm ?chain (p : Platform.t) =
+let multicast_lb_warm ?warm ?chain ?send_cap ?recv_cap (p : Platform.t) =
   Trace.with_span ~cat:"lp" "formulations.multicast_lb"
     ~result:(fun r ->
       ("nodes", Trace.Int (Platform.n_nodes p))
@@ -615,7 +636,10 @@ let multicast_lb_warm ?warm ?chain (p : Platform.t) =
       (match r with
       | None -> [ ("feasible", Trace.Bool false) ]
       | Some ((s : solution), _) -> [ ("throughput", Trace.Float s.throughput) ]))
-    (fun () -> Option.map (fun (s, _, b) -> (s, b)) (solve_max_counted ?warm ?chain p))
+    (fun () ->
+      Option.map
+        (fun (s, _, b) -> (s, b))
+        (solve_max_counted ?warm ?chain ?send_cap ?recv_cap p))
 
 let multicast_lb (p : Platform.t) = Option.map fst (multicast_lb_warm p)
 

@@ -59,16 +59,32 @@ val multicast_lb : Platform.t -> solution option
     nominal platform to its survivors. *)
 type warm_basis = Revised_simplex.warm
 
-(** [multicast_lb_warm ?warm ?chain p] is {!multicast_lb} returning the
-    optimal basis of the final cut-loop LP (when the revised engine
-    produced it), and optionally seeded with a basis from a related
-    solve. [chain] (default [true]) controls round-to-round basis reuse
-    inside the cut loop; [~chain:false] solves every round cold — the
-    ablation baseline of the bench's warm-vs-cold leg. Warm starts never
-    change the result, only the pivot count. *)
+(** [multicast_lb_warm ?warm ?chain ?send_cap ?recv_cap p] is
+    {!multicast_lb} returning the optimal basis of the final cut-loop LP
+    (when the revised engine produced it), and optionally seeded with a
+    basis from a related solve. [chain] (default [true]) controls
+    round-to-round basis reuse inside the cut loop; [~chain:false] solves
+    every round cold — the ablation baseline of the bench's warm-vs-cold
+    leg. Warm starts never change the result, only the pivot count.
+
+    {b Capacity sharing} (the online session engine, {!Horizon}): the
+    one-port rows default to the paper's full time unit per port, but
+    [send_cap]/[recv_cap] (one entry per node, clamped below at [0])
+    replace the right-hand sides with {e residual} capacities — one time
+    unit minus what co-scheduled sessions already occupy on that port.
+    The optimum is then the best throughput a {e single} session can
+    extract from the platform's leftover capacity. Only the rhs changes:
+    variables, row names and coefficients are those of the
+    full-capacity model, so one session's basis warm-starts its own
+    re-solve at the next epoch even though every residual moved — a
+    pure-rhs re-solve is the dual simplex's best case. Raises
+    [Invalid_argument] when a capacity array's length is not the node
+    count. *)
 val multicast_lb_warm :
   ?warm:warm_basis ->
   ?chain:bool ->
+  ?send_cap:float array ->
+  ?recv_cap:float array ->
   Platform.t ->
   (solution * warm_basis option) option
 

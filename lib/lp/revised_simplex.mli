@@ -51,6 +51,12 @@ type solution = {
 
 type status = Optimal of solution | Infeasible | Unbounded | Stalled
 
+(** Default value of [?max_iter]: the overall pivot budget of one
+    {!solve} call. The dual re-solve of a warm attempt is additionally
+    capped at [32 + m] pivots — a repaired basis that has not converged
+    by then is degenerate-cycling, and surrendering to the cold path is
+    cheaper than grinding (the dual engine also latches to Bland's
+    lowest-index rules after [m] iterations for the same reason). *)
 val max_iterations : int
 
 (** [solve ?max_iter ?warm model]. [Stalled] means the iteration budget

@@ -28,6 +28,11 @@ let default_rules ?(tolerance = 0.25) ?time_tolerance () =
     { r_prefix = "soak.delivered_fraction"; r_dir = Not_below; r_tol = tolerance };
     { r_prefix = "soak.full_replans"; r_dir = Not_above; r_tol = tolerance };
     { r_prefix = "recovery.replans_per_hour"; r_dir = Not_above; r_tol = tolerance };
+    (* Session engine (S1): admission count must not fall, and the
+       planner's per-epoch re-plan spend must not grow — the pair that
+       catches both "stopped admitting" and "stopped skipping". *)
+    { r_prefix = "session.admitted"; r_dir = Not_below; r_tol = tolerance };
+    { r_prefix = "session.replan_seconds.sum"; r_dir = Not_above; r_tol = tt };
   ]
 
 type status = Passed | Regressed | Missing

@@ -57,7 +57,11 @@ type rule = { r_prefix : string; r_dir : direction; r_tol : float }
     [recovery.replans_per_hour] must not grow — the gauges are
     last-write-wins, so they reflect the damped controller leg the bench
     runs last, and a controller change that re-plans more or serves less
-    on the R4 soak workload fails the gate. *)
+    on the R4 soak workload fails the gate. The session gate (S1):
+    [session.admitted] must not fall and [session.replan_seconds.sum]
+    must not grow more than [time_tolerance] — together they catch a
+    {!Horizon} change that stops admitting or stops skipping
+    unnecessary re-plans. *)
 val default_rules : ?tolerance:float -> ?time_tolerance:float -> unit -> rule list
 
 type status =

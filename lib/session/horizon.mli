@@ -1,0 +1,170 @@
+(** Rolling-horizon planner for churning multicast sessions.
+
+    The paper plans one static multicast; {!Horizon} runs a {e stream} of
+    them ({!Session}) on one shared platform under an epoch clock. Every
+    [epoch] time units the planner:
+
+    + retires departed sessions and refreshes the failure state
+      ({!Fault.damage_at} composed into a damage-restricted carrier
+      platform);
+    + re-plans live sessions — in [`Incremental] mode only those whose
+      residual capacity actually changed: a session with a broken tree,
+      or one below demand after a {e capacity release} (a departure,
+      preemption, degrade, suspension, shrink or damage change) since
+      its last plan. A session at full demand with an intact tree is
+      skipped outright — the exact invariant keeps its plan feasible
+      whatever the others do, and a hungry one took everything its
+      bottleneck offered, so a re-plan cannot help it until someone
+      gives capacity back. Re-plans are warm-started from the session's
+      previous LP basis via {!Warm_registry}. In [`Cold] mode every
+      live session re-plans, from scratch, every epoch (the S1 ablation
+      baseline);
+    + admits the epoch's arrivals in {!Session.admission_order} against
+      exact residual port capacity, degrading then preempting
+      lowest-priority sessions first when a higher-priority arrival does
+      not fit.
+
+    {b Capacity sharing.} Sessions meet only through per-node port
+    occupations (see {!Schedule.occupations}): a session running at rate
+    [y] occupies [y * o_v] of each port [v] its tree touches. All
+    admission arithmetic is exact ({!Rat}); admitted rates are floored
+    onto the [1/rate_grid] lattice, so the per-port sums provably never
+    exceed one. The LP sees the same residuals as float [send_cap] /
+    [recv_cap] right-hand sides ({!Formulations.multicast_lb_warm}) —
+    row names are unchanged across epochs, which is what makes the
+    previous epoch's basis portable.
+
+    {b Determinism.} Planning decisions depend only on exact rational
+    arithmetic and deterministic orderings — never on LP floats, wall
+    clock, or scheduling order — so a run's {!digest} is bit-identical
+    for any [jobs] value (re-plans are farmed out with {!Pool.map} from
+    a consistent snapshot and applied sequentially in session-id order),
+    and [`Incremental] and [`Cold] modes admit the same sessions at the
+    same rates. *)
+
+type replan_mode =
+  [ `Incremental  (** warm-started, change-driven re-planning *)
+  | `Cold  (** full re-plan of every live session each epoch *) ]
+
+type config = {
+  epoch : Rat.t;  (** planning period (positive) *)
+  admit_floor : float;
+      (** admit a session only at [>= admit_floor * demand], in [(0, 1]] *)
+  degrade_floor : float;
+      (** preemption first degrades victims to [degrade_floor * demand],
+          in [[0, admit_floor]] *)
+  slo_retention : float;
+      (** an epoch at rate [< slo_retention * admitted_rate] counts as
+          degraded; a session whose minimum rate stays above this
+          fraction has [sr_slo_ok] *)
+  replan_mode : replan_mode;
+  jobs : int;  (** {!Pool.map} fan-out for the per-epoch re-plans *)
+  rate_grid : int;  (** admitted rates are multiples of [1/rate_grid] *)
+  max_preemptions : int;  (** victim budget per arriving session *)
+}
+
+(** Epoch 5, admit floor 0.5, degrade floor 0.25, SLO retention 0.7,
+    incremental re-planning, sequential, rate grid 960, at most 4
+    victims per arrival. *)
+val default_config : config
+
+val validate_config : config -> (unit, string) result
+
+type outcome =
+  | Completed  (** departed on schedule *)
+  | Active  (** still live when the horizon ended *)
+  | Rejected  (** never admitted *)
+  | Preempted  (** evicted for a higher-priority arrival *)
+
+val outcome_name : outcome -> string
+
+(** Per-session summary. [sr_min_rate] is the lowest rate the session
+    was ever held at while live (zero if it was ever suspended);
+    [sr_slo_ok] compares it against [slo_retention * sr_admitted_rate].
+    [sr_lb] is the last LP certificate the session planned against. *)
+type session_record = {
+  sr_session : Session.t;
+  sr_outcome : outcome;
+  sr_admitted_rate : Rat.t;
+  sr_final_rate : Rat.t;
+  sr_min_rate : Rat.t;
+  sr_lb : float;
+  sr_replans : int;
+  sr_degraded_epochs : int;
+  sr_slo_ok : bool;
+}
+
+(** Per-epoch summary. [ep_seconds] is the wall-clock the planner spent
+    on the epoch (re-plans plus admission); [ep_max_port] the largest
+    port occupation left standing after it — always at most one. *)
+type epoch_record = {
+  ep_index : int;
+  ep_time : Rat.t;
+  ep_arrivals : int;
+  ep_admitted : int;
+  ep_rejected : int;
+  ep_preempted : int;
+  ep_degraded : int;
+  ep_suspended : int;
+  ep_replans : int;
+  ep_replans_skipped : int;
+  ep_active : int;
+  ep_seconds : float;
+  ep_max_port : Rat.t;
+}
+
+type report = {
+  hz_epochs : epoch_record list;
+  hz_sessions : session_record list;  (** sorted by session id *)
+  hz_admitted : int;
+  hz_rejected : int;
+  hz_preempted : int;
+  hz_completed : int;
+  hz_degradations : int;
+  hz_suspensions : int;
+  hz_replans : int;
+  hz_replans_skipped : int;
+  hz_slo_violations : int;
+  hz_peak_active : int;
+  hz_planner_seconds : float;
+  hz_p50_epoch_seconds : float;
+  hz_p99_epoch_seconds : float;
+  hz_max_port_occupation : Rat.t;  (** over the whole run; [<= 1] *)
+  hz_admitted_rate_sum : float;
+  hz_mean_lb_gap : float;
+      (** mean [final_rate / lb] over sessions that ended with a
+          positive rate. The certificate is priced at the re-plan
+          snapshot while rates can later grow in place against live
+          residuals, so values slightly above 1 are possible — the
+          ratio is a health indicator, never a decision input *)
+  hz_schedules : (int * int * Schedule.t) list;
+      (** every in-force schedule ever adopted, as
+          [(epoch, session id, schedule)] in adoption order; each passed
+          {!Schedule.check} when adopted *)
+}
+
+(** [run ?now ?config ?faults p sessions ~horizon] replays the workload
+    through the epoch loop and reports. [sessions] must pass
+    {!Workload.validate}; [faults] is a {!Fault.scenario} over [p]
+    (which must keep [p]'s designated source alive, as {!Fault}'s
+    generators guarantee). [now] (default [Unix.gettimeofday]) only
+    feeds the timing telemetry, never a decision. Updates the
+    [session.*] metrics and records [session.run] / [session.epoch] /
+    [session.plan] trace spans. *)
+val run :
+  ?now:(unit -> float) ->
+  ?config:config ->
+  ?faults:Fault.scenario ->
+  Platform.t ->
+  Session.t list ->
+  horizon:Rat.t ->
+  (report, string) result
+
+(** Hex digest of every planning {e decision} in the report (epoch
+    tallies, exact port peaks, per-session outcomes and exact rates) —
+    deliberately excluding wall-clock fields and LP floats, so it is
+    bit-identical across [jobs] values and, for admission decisions,
+    across re-plan modes. *)
+val digest : report -> string
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,61 @@
+(** Seeded open-loop session workload generator.
+
+    Produces the arrival stream the {!Horizon} planner consumes: Poisson
+    session arrivals with heavy-tailed (Pareto) holding times, plus
+    optional {e flash crowds} — bursts of wide-fanout sessions packed
+    into a short window, the demand-side analogue of
+    {!Fault.random_burst}. Open-loop: the stream never reacts to
+    admission decisions, so two planner configurations replayed over the
+    same workload see byte-identical offered load (the S1 ablation
+    depends on this).
+
+    All times are drawn on the 1/1000 grid {!Fault}'s renewal
+    generators use, so epoch arithmetic stays on small exact rationals;
+    every generated workload passes {!validate} by construction.
+    Sources are drawn among router (non-LAN) nodes and targets among
+    LAN hosts on {!Tiers}-style platforms, falling back to all active
+    nodes elsewhere. *)
+
+type params = {
+  arrival_rate : float;  (** mean session arrivals per time unit (> 0) *)
+  hold_mean : float;  (** mean holding time (> 0) *)
+  hold_alpha : float;
+      (** Pareto tail index (> 1); smaller = heavier tail. Draws are
+          truncated at 100x the mean. *)
+  demand_frac : float * float;
+      (** demand as a uniform fraction (drawn on a 1/100 grid) of the
+          session's {e standalone} MCPH throughput on the empty
+          platform — calibrated rather than absolute, because a single
+          multicast's capacity spans orders of magnitude across
+          sessions on heterogeneous platforms. Range within [(0, 1]]. *)
+  targets_min : int;  (** fanout range for ordinary sessions *)
+  targets_max : int;
+  priorities : int;  (** priorities drawn uniformly in [[0, priorities)] *)
+  flash_rate : float;  (** flash crowds per time unit (0 disables them) *)
+  flash_size : int;  (** sessions per crowd *)
+  flash_window : float;  (** arrival window of one crowd *)
+  flash_targets : int;  (** fanout of crowd sessions *)
+}
+
+(** 0.1 arrivals per time unit, mean holding 80 with tail index 1.6,
+    demands at 30-90% of standalone capacity, 2-5 targets, 3 priority
+    classes, and a sparse flash-crowd process (4 sessions of fanout 8
+    per crowd). *)
+val default_params : params
+
+val validate_params : params -> (unit, string) result
+
+(** [generate rng p params ~horizon] draws the workload: every session
+    arrives strictly inside [[0, horizon)] (departures may overrun the
+    horizon — the planner clips), ids are dense in arrival order and
+    the list is sorted by arrival. Raises [Invalid_argument] on invalid
+    [params] or a non-positive horizon. *)
+val generate : Random.State.t -> Platform.t -> params -> horizon:Rat.t -> Session.t list
+
+(** [validate p sessions] checks what {!generate} promises: distinct
+    ids, arrival-sorted, and every session valid on [p]
+    ({!Session.validate}). *)
+val validate : Platform.t -> Session.t list -> (unit, string) result
+
+(** One-line workload summary (count, wide-fanout count, total demand). *)
+val describe : Session.t list -> string

@@ -263,6 +263,43 @@ let scenario_end = function
 
 let damage s = damage_at s ~at:(scenario_end s)
 
+(* Re-base the timeline at an observation instant: the state at [at]
+   (dead entities, net degradation factors) is materialized as events at
+   time 0, and everything firing strictly after [at] is shifted left by
+   [at]. A kill materialized at 0 is legally followed by the entity's
+   next (shifted) event, which alternation guarantees is a revive; a
+   degradation materialized at 0 composes with later shifted factors
+   exactly as the originals did, because a Clear_degrade resets to one
+   regardless of history. The result therefore validates whenever the
+   input did — it is the fault history a session arriving at [at]
+   actually experiences. *)
+let rebase s ~at =
+  if Rat.sign at < 0 then invalid_arg "Fault.rebase: negative instant";
+  let st = damage_at s ~at in
+  let opening =
+    List.map (fun (src, dst) -> Kill_edge { src; dst; at = Rat.zero }) st.Repair.dead_edges
+    @ List.map (fun node -> Kill_node { node; at = Rat.zero }) st.Repair.dead_nodes
+    @ List.map
+        (fun ((src, dst), factor) -> Degrade_edge { src; dst; at = Rat.zero; factor })
+        st.Repair.degraded
+  in
+  let shift ev =
+    let t = Rat.sub (event_time ev) at in
+    match ev with
+    | Kill_edge e -> Kill_edge { e with at = t }
+    | Kill_node e -> Kill_node { e with at = t }
+    | Degrade_edge e -> Degrade_edge { e with at = t }
+    | Revive_edge e -> Revive_edge { e with at = t }
+    | Revive_node e -> Revive_node { e with at = t }
+    | Clear_degrade e -> Clear_degrade { e with at = t }
+  in
+  let future =
+    List.filter_map
+      (fun ev -> if Rat.(event_time ev > at) then Some (shift ev) else None)
+      s
+  in
+  opening @ future
+
 let random_link_kills rng (p : Platform.t) ~rate ~at =
   let g = p.Platform.graph in
   let seen = Hashtbl.create 64 in

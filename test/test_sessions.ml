@@ -1,0 +1,176 @@
+(* Tests for the online session engine: workload generator contracts,
+   fake-clock determinism, warm/cold admission equality, Pool-jobs digest
+   stability, and a seeded 200-case property sweep asserting the planner
+   never oversubscribes a port and never adopts an unchecked schedule. *)
+
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. 0.001;
+    !t
+
+let tiers seed ~n_targets =
+  Tiers.generate (Random.State.make [| seed; 6121 |]) Tiers.small_params ~n_targets
+
+let workload seed p ?(params = Workload.default_params) ~horizon () =
+  Workload.generate (Random.State.make [| seed; 9001 |]) p params ~horizon
+
+let run ?config ?faults p sessions ~horizon =
+  match Horizon.run ~now:(fake_clock ()) ?config ?faults p sessions ~horizon with
+  | Error e -> Alcotest.fail e
+  | Ok rep -> rep
+
+let test_workload_contract () =
+  (* generate's promises (dense arrival-sorted ids, every session valid on
+     the platform) are exactly what Workload.validate checks. *)
+  let p = tiers 1 ~n_targets:8 in
+  let horizon = Rat.of_int 300 in
+  let sessions = workload 1 p ~horizon () in
+  (match Workload.validate p sessions with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "generated workload fails validate: %s" e);
+  Alcotest.(check bool) "workload nonempty" true (sessions <> []);
+  List.iter
+    (fun (s : Session.t) ->
+      if not Rat.(s.Session.arrival < horizon) then
+        Alcotest.failf "session %d arrives at %s, beyond the horizon" s.Session.id
+          (Rat.to_string s.Session.arrival);
+      if Rat.sign s.Session.demand <= 0 then
+        Alcotest.failf "session %d has non-positive demand" s.Session.id)
+    sessions
+
+let test_workload_seed_stability () =
+  (* Same seed, same stream — the open-loop property every warm/cold and
+     jobs comparison in this file leans on. *)
+  let p = tiers 2 ~n_targets:8 in
+  let horizon = Rat.of_int 200 in
+  let a = workload 2 p ~horizon () and b = workload 2 p ~horizon () in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Session.t) (y : Session.t) ->
+      Alcotest.(check int) "same id" x.Session.id y.Session.id;
+      Alcotest.(check bool) "same demand" true Rat.(equal x.Session.demand y.Session.demand);
+      Alcotest.(check bool) "same arrival" true
+        Rat.(equal x.Session.arrival y.Session.arrival))
+    a b
+
+let test_run_deterministic () =
+  (* Two runs with fresh fake clocks agree on the full decision digest:
+     nothing observable depends on wall time. *)
+  let p = tiers 3 ~n_targets:8 in
+  let horizon = Rat.of_int 200 in
+  let sessions = workload 3 p ~horizon () in
+  let a = run p sessions ~horizon and b = run p sessions ~horizon in
+  Alcotest.(check string) "digests agree" (Horizon.digest a) (Horizon.digest b)
+
+let test_warm_cold_equal_admissions () =
+  (* `Incremental and `Cold must admit the same sessions at the same
+     rates — skipping a re-plan is a latency optimization, never an
+     admission policy change. *)
+  let p = tiers 4 ~n_targets:8 in
+  let horizon = Rat.of_int 200 in
+  let sessions = workload 4 p ~horizon () in
+  let faults =
+    Fault.random_burst (Random.State.make [| 4; 9002 |]) p ~k:3 ~window:Rat.one
+      ~at:(Rat.of_int 100)
+  in
+  let go mode =
+    run ~config:{ Horizon.default_config with Horizon.replan_mode = mode } ~faults p
+      sessions ~horizon
+  in
+  let inc = go `Incremental and cold = go `Cold in
+  Alcotest.(check int) "admitted agree" inc.Horizon.hz_admitted cold.Horizon.hz_admitted;
+  Alcotest.(check int) "rejected agree" inc.Horizon.hz_rejected cold.Horizon.hz_rejected;
+  List.iter2
+    (fun (a : Horizon.session_record) (b : Horizon.session_record) ->
+      Alcotest.(check int) "same session" a.Horizon.sr_session.Session.id
+        b.Horizon.sr_session.Session.id;
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d admitted at the same rate"
+           a.Horizon.sr_session.Session.id)
+        true
+        Rat.(equal a.Horizon.sr_admitted_rate b.Horizon.sr_admitted_rate))
+    inc.Horizon.hz_sessions cold.Horizon.hz_sessions;
+  Alcotest.(check bool) "incremental skips re-plans" true
+    (inc.Horizon.hz_replans < cold.Horizon.hz_replans)
+
+let test_sessions_property_sweep () =
+  (* Seeded 200-case sweep across platform shapes, workload mixes and
+     fault families. Invariants: the run never crashes, no port is ever
+     oversubscribed (exact arithmetic, so the bound is exactly 1), every
+     schedule ever in force passes Schedule.check, and — on a quarter of
+     the cases — the decision digest is bit-identical across Pool job
+     counts. *)
+  for i = 1 to 200 do
+    let rng = Random.State.make [| i; 9717 |] in
+    let p =
+      if i mod 3 = 0 then
+        Generators.random_connected rng ~nodes:(8 + (i mod 6)) ~extra_edges:(4 + (i mod 4))
+          ~min_cost:1 ~max_cost:10 ~n_targets:(2 + (i mod 4))
+      else tiers i ~n_targets:(4 + (i mod 5))
+    in
+    let horizon = Rat.of_int 60 in
+    let params =
+      {
+        Workload.default_params with
+        Workload.arrival_rate = 0.1 +. (0.05 *. float_of_int (i mod 4));
+        hold_mean = 25.0;
+        demand_frac = (0.2, 0.4 +. (0.1 *. float_of_int (i mod 6)));
+        flash_rate = (if i mod 7 = 0 then 0.02 else 0.0);
+        priorities = 1 + (i mod 4);
+      }
+    in
+    let sessions = workload i p ~params ~horizon () in
+    let faults =
+      let frng = Random.State.make [| i; 9002 |] in
+      match i mod 4 with
+      | 0 -> []
+      | 1 -> Fault.renewal_link_faults frng p ~mtbf:40.0 ~mttr:8.0 ~horizon
+      | 2 -> Fault.random_burst frng p ~k:2 ~window:Rat.one ~at:(Rat.of_int 30)
+      | _ ->
+        Fault.flapping_links frng p ~links:2 ~flaps:3 ~mean_up:15.0 ~mean_down:3.0
+          ~at:Rat.zero
+    in
+    let config =
+      { Horizon.default_config with Horizon.epoch = Rat.of_int (3 + (i mod 3)) }
+    in
+    let rep = run ~config ~faults p sessions ~horizon in
+    if Rat.(rep.Horizon.hz_max_port_occupation > one) then
+      Alcotest.failf "case %d: peak port occupation %s exceeds 1" i
+        (Rat.to_string rep.Horizon.hz_max_port_occupation);
+    List.iter
+      (fun (e : Horizon.epoch_record) ->
+        if Rat.(e.Horizon.ep_max_port > one) then
+          Alcotest.failf "case %d: epoch %d port occupation %s exceeds 1" i
+            e.Horizon.ep_index
+            (Rat.to_string e.Horizon.ep_max_port))
+      rep.Horizon.hz_epochs;
+    List.iter
+      (fun (epoch, sid, sched) ->
+        match Schedule.check sched with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.failf "case %d: schedule for session %d (epoch %d) fails check: %s" i
+            sid epoch e)
+      rep.Horizon.hz_schedules;
+    if rep.Horizon.hz_admitted > 0 && rep.Horizon.hz_schedules = [] then
+      Alcotest.failf "case %d: %d admissions but no schedule was ever in force" i
+        rep.Horizon.hz_admitted;
+    if i mod 4 = 0 then begin
+      let par =
+        run ~config:{ config with Horizon.jobs = 3 } ~faults p sessions ~horizon
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "case %d: digest stable across job counts" i)
+        (Horizon.digest rep) (Horizon.digest par)
+    end
+  done
+
+let suite =
+  [
+    ("workload generator keeps its contract", `Quick, test_workload_contract);
+    ("workload streams are seed-stable", `Quick, test_workload_seed_stability);
+    ("fake clock makes runs deterministic", `Quick, test_run_deterministic);
+    ("warm and cold modes admit identically", `Quick, test_warm_cold_equal_admissions);
+    ("session property sweep: 200 seeded cases", `Slow, test_sessions_property_sweep);
+  ]
