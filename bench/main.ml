@@ -1203,6 +1203,250 @@ let sessions_bench () =
   Printf.printf "sessions summary: %s\n" fname
 
 (* ------------------------------------------------------------------ *)
+(* O4 / SLO — burn-rate telemetry and in-lifetime enforcement on S1.    *)
+
+(* The S1 workload under the S1 burst, run three ways per seed: bare
+   (no sampling — the overhead baseline), sampled (telemetry + SLO
+   objectives, no feedback) and enforced (burn rates feed the re-plan
+   apply order and the victim ladder). Sampling must not change the
+   digest; enforcement must not change admissions while the worst-case
+   delivered fraction may only improve. The enforced leg runs last so
+   the whole-run gauges (BENCH_5, the regression baseline) describe it. *)
+let slo_bench () =
+  banner "O4 / SLO — burn-rate telemetry + in-lifetime enforcement on the S1 workload";
+  let seeds = max 1 !trials in
+  let horizon = Rat.of_int (if !fast then 200 else 300) in
+  (* The S1 platform, burst and seed streams, with the demand fractions
+     raised: enforcement only has something to do when several hungry
+     sessions compete for the capacity a release frees, which the
+     low-contention S1 mix almost never produces. *)
+  let wl_params =
+    {
+      Workload.default_params with
+      arrival_rate = 0.1;
+      hold_mean = 100.0;
+      demand_frac = (0.3, 0.75);
+      flash_rate = 0.0;
+    }
+  in
+  let burst_at = Rat.div horizon (Rat.of_int 2) in
+  let objectives =
+    [
+      (match Slo.parse "session.retention>=0.95,fast=15,slow=45,hold=15" with
+      | Ok o -> o
+      | Error e -> failwith e);
+    ]
+  in
+  let digest_invariant = ref true and admissions_equal = ref true in
+  let breaches = ref 0 in
+  let sum_short_off = ref 0.0 and sum_short_on = ref 0.0 in
+  let worst_off = ref 1.0 and worst_on = ref 1.0 in
+  let degraded_off = ref 0 and degraded_on = ref 0 in
+  let bare_secs = ref 0.0 and sampled_secs = ref 0.0 in
+  let ran = ref 0 in
+  (* Mean per-session shortfall: how far below its admitted rate a
+     session was ever held, averaged over non-rejected sessions — a more
+     sensitive improvement signal than the min alone, which pins at 0
+     whenever any session suspends. *)
+  let mean_shortfall (rep : Horizon.report) =
+    let shorts =
+      List.filter_map
+        (fun (s : Horizon.session_record) ->
+          if s.Horizon.sr_outcome = Horizon.Rejected || Rat.sign s.Horizon.sr_admitted_rate <= 0
+          then None
+          else
+            Some
+              (1.0
+              -. Rat.to_float (Rat.div s.Horizon.sr_min_rate s.Horizon.sr_admitted_rate)))
+        rep.Horizon.hz_sessions
+    in
+    match shorts with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 shorts /. float_of_int (List.length shorts)
+  in
+  Printf.printf "seeds: %d; tiers-small (8 targets), horizon %s, burst at %s\n%!" seeds
+    (Rat.to_string horizon) (Rat.to_string burst_at);
+  Printf.printf "%6s | %9s %9s | %10s %10s | %6s %6s | %8s %8s\n" "seed" "adm-off"
+    "adm-on" "short-off" "short-on" "dg-off" "dg-on" "breaches" "digest=";
+  for seed = 1 to seeds do
+    let p =
+      Tiers.generate (Random.State.make [| seed; 6271 |]) Tiers.small_params ~n_targets:8
+    in
+    let sessions =
+      Workload.generate (Random.State.make [| seed; 9001 |]) p wl_params ~horizon
+    in
+    let faults =
+      Fault.random_burst (Random.State.make [| seed; 9002 |]) p ~k:3 ~window:Rat.one
+        ~at:burst_at
+    in
+    let run ?telemetry ?(slo = []) ?(slo_enforce = false) () =
+      match Horizon.run ~faults ?telemetry ~slo ~slo_enforce p sessions ~horizon with
+      | Error e -> failwith ("slo bench: " ^ e)
+      | Ok rep -> rep
+    in
+    let t0 = Unix.gettimeofday () in
+    let bare = run () in
+    let t1 = Unix.gettimeofday () in
+    let off = run ~telemetry:(Timeseries.create ()) ~slo:objectives () in
+    let t2 = Unix.gettimeofday () in
+    let enforced = run ~telemetry:(Timeseries.create ()) ~slo:objectives ~slo_enforce:true () in
+    incr ran;
+    bare_secs := !bare_secs +. (t1 -. t0);
+    sampled_secs := !sampled_secs +. (t2 -. t1);
+    if Horizon.digest bare <> Horizon.digest off then digest_invariant := false;
+    if bare.Horizon.hz_admitted <> enforced.Horizon.hz_admitted then
+      admissions_equal := false;
+    let n_breach =
+      List.length
+        (List.filter (fun (e : Slo.event) -> e.Slo.e_kind = `Breach)
+           off.Horizon.hz_slo_events)
+    in
+    breaches := !breaches + n_breach;
+    let s_off = mean_shortfall off and s_on = mean_shortfall enforced in
+    sum_short_off := !sum_short_off +. s_off;
+    sum_short_on := !sum_short_on +. s_on;
+    worst_off := Float.min !worst_off off.Horizon.hz_min_delivered_fraction;
+    worst_on := Float.min !worst_on enforced.Horizon.hz_min_delivered_fraction;
+    let burn_epochs (rep : Horizon.report) =
+      List.fold_left
+        (fun acc (s : Horizon.session_record) -> acc + s.Horizon.sr_burn_epochs)
+        0 rep.Horizon.hz_sessions
+    in
+    degraded_off := !degraded_off + burn_epochs off;
+    degraded_on := !degraded_on + burn_epochs enforced;
+    Printf.printf "%6d | %9d %9d | %10.4f %10.4f | %6d %6d | %8d %8b\n%!" seed
+      bare.Horizon.hz_admitted enforced.Horizon.hz_admitted s_off s_on (burn_epochs off)
+      (burn_epochs enforced) n_breach
+      (Horizon.digest bare = Horizon.digest off)
+  done;
+  (* The contention duel: a deterministic three-session scenario where
+     the apply-order lever provably matters. All three sessions root at
+     the same LAN host, so its uplink is one shared bottleneck. S1
+     (low-priority, id 1) is admitted first; S0 (id 0) arrives hungry;
+     a transient high-priority S2 degrades S1 below its retention floor
+     and departs mid-run. At the release both hungry sessions re-plan:
+     without enforcement S0 applies first (id order) and takes the
+     whole release, pinning S1 below its floor for the rest of the run;
+     with enforcement the burning S1 applies first and recovers to full
+     demand. Admissions and admitted rates are identical either way. *)
+  let duel_off_burn, duel_on_burn, duel_off_frac, duel_on_frac, duel_admissions_equal =
+    let duel_horizon = Rat.of_int 200 in
+    let p =
+      Tiers.generate (Random.State.make [| 1; 6271 |]) Tiers.small_params ~n_targets:8
+    in
+    let lans = Platform.lan_nodes p in
+    let source = List.hd lans in
+    let targets = List.filteri (fun i _ -> i >= 1 && i <= 4) lans in
+    let standalone =
+      match
+        Mcph.run
+          (Platform.restrict
+             (Platform.make ~kinds:p.Platform.kinds p.Platform.graph ~source ~targets)
+             ~keep:(Platform.is_active p))
+      with
+      | Some r -> r.Mcph.throughput
+      | None -> failwith "slo bench duel: no standalone plan"
+    in
+    let frac num den = Rat.mul (Rat.of_ints num den) standalone in
+    let mk ~id ~prio ~arr ~dep d =
+      Session.make ~id ~source ~targets ~demand:d ~priority:prio
+        ~arrival:(Rat.of_int arr) ~departure:(Rat.of_int dep)
+    in
+    let sessions =
+      [
+        mk ~id:1 ~prio:0 ~arr:0 ~dep:200 (frac 5 10);
+        mk ~id:0 ~prio:1 ~arr:10 ~dep:200 (frac 8 10);
+        mk ~id:2 ~prio:2 ~arr:20 ~dep:70 (frac 7 10);
+      ]
+    in
+    let run enforce =
+      match Horizon.run ~slo_enforce:enforce p sessions ~horizon:duel_horizon with
+      | Error e -> failwith ("slo bench duel: " ^ e)
+      | Ok rep -> rep
+    in
+    let off = run false and on = run true in
+    let victim (rep : Horizon.report) =
+      List.find
+        (fun (s : Horizon.session_record) -> s.Horizon.sr_session.Session.id = 1)
+        rep.Horizon.hz_sessions
+    in
+    let final_frac (s : Horizon.session_record) =
+      if Rat.sign s.Horizon.sr_admitted_rate <= 0 then 0.0
+      else Rat.to_float (Rat.div s.Horizon.sr_final_rate s.Horizon.sr_admitted_rate)
+    in
+    let vo = victim off and vn = victim on in
+    ( vo.Horizon.sr_burn_epochs,
+      vn.Horizon.sr_burn_epochs,
+      final_frac vo,
+      final_frac vn,
+      off.Horizon.hz_admitted = on.Horizon.hz_admitted )
+  in
+  let overhead =
+    if !bare_secs > 0.0 then (!sampled_secs -. !bare_secs) /. !bare_secs else 0.0
+  in
+  Printf.printf "digest:      sampling on vs off bit-identical per seed: %b\n"
+    !digest_invariant;
+  Printf.printf "admissions:  enforcement on vs off equal per seed: %b\n" !admissions_equal;
+  Printf.printf
+    "shortfall:   mean %.4f off -> %.4f on; worst delivered fraction %.4f -> %.4f\n"
+    (!sum_short_off /. float_of_int !ran)
+    (!sum_short_on /. float_of_int !ran)
+    !worst_off !worst_on;
+  Printf.printf "slo events:  %d breach(es) over %d seed(s)\n" !breaches !ran;
+  Printf.printf
+    "duel:        victim burn %d -> %d epochs, final delivered fraction %.2f -> %.2f\n"
+    duel_off_burn duel_on_burn duel_off_frac duel_on_frac;
+  Printf.printf "overhead:    sampling %.1f%% over bare (%.3fs vs %.3fs)\n"
+    (100.0 *. overhead) !sampled_secs !bare_secs;
+  let ok_digest = !ran > 0 && !digest_invariant in
+  let ok_admit = !ran > 0 && !admissions_equal && duel_admissions_equal in
+  let ok_short = !sum_short_on <= !sum_short_off +. 1e-9 && !worst_on >= !worst_off -. 1e-9 in
+  let ok_duel = duel_on_burn < duel_off_burn && duel_on_frac > duel_off_frac +. 1e-9 in
+  let ok_breach = !breaches > 0 in
+  Printf.printf "shape check: sampling never perturbs the digest — %s\n"
+    (if ok_digest then "OK" else "MISMATCH");
+  Printf.printf "shape check: enforcement leaves admissions unchanged — %s\n"
+    (if ok_admit then "OK" else "MISMATCH");
+  Printf.printf "shape check: enforcement never worsens delivered-fraction shortfall — %s\n"
+    (if ok_short then "OK" else "MISMATCH");
+  Printf.printf "shape check: enforcement rescues the duel victim — %s\n"
+    (if ok_duel then "OK" else "MISMATCH");
+  Printf.printf "shape check: the burst provokes at least one SLO breach — %s\n"
+    (if ok_breach then "OK" else "MISMATCH");
+  ensure_out_dir ();
+  let buf = Buffer.create 1024 in
+  let fld ?(indent = "  ") last name v =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%S: %s%s\n" indent name v (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  fld false "platform" "\"tiers-small (8 targets)\"";
+  fld false "objective" (Printf.sprintf "%S" (Slo.spec (List.hd objectives)));
+  fld false "horizon" (Rat.to_string horizon);
+  fld false "seeds" (string_of_int seeds);
+  fld false "breaches" (string_of_int !breaches);
+  fld false "mean_shortfall_off" (Printf.sprintf "%.6f" (!sum_short_off /. float_of_int !ran));
+  fld false "mean_shortfall_on" (Printf.sprintf "%.6f" (!sum_short_on /. float_of_int !ran));
+  fld false "worst_delivered_fraction_off" (Printf.sprintf "%.6f" !worst_off);
+  fld false "worst_delivered_fraction_on" (Printf.sprintf "%.6f" !worst_on);
+  fld false "duel_burn_epochs_off" (string_of_int duel_off_burn);
+  fld false "duel_burn_epochs_on" (string_of_int duel_on_burn);
+  fld false "duel_final_fraction_off" (Printf.sprintf "%.6f" duel_off_frac);
+  fld false "duel_final_fraction_on" (Printf.sprintf "%.6f" duel_on_frac);
+  fld false "sampling_overhead" (Printf.sprintf "%.6f" overhead);
+  Buffer.add_string buf "  \"shape\": {\n";
+  fld ~indent:"    " false "digest_invariant" (if ok_digest then "true" else "false");
+  fld ~indent:"    " false "admissions_equal" (if ok_admit then "true" else "false");
+  fld ~indent:"    " false "shortfall_no_worse" (if ok_short then "true" else "false");
+  fld ~indent:"    " false "duel_victim_rescued" (if ok_duel then "true" else "false");
+  fld ~indent:"    " true "breach_observed" (if ok_breach then "true" else "false");
+  Buffer.add_string buf "  }\n}\n";
+  let fname = bench_json_file 9 in
+  let oc = open_out fname in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "slo summary: %s\n" fname
+
+(* ------------------------------------------------------------------ *)
 (* E11 — Theorem 5: prefix gadget.                                      *)
 
 let prefix () =
@@ -1577,6 +1821,7 @@ let () =
   if want "storms" then storms ();
   if want "soak" then soak_bench ();
   if want "sessions" || want "s1" then sessions_bench ();
+  if want "slo" || want "sessions" || want "s1" then slo_bench ();
   if want "pseries" then pseries ();
   if want "hseries" then hseries ();
   if want "prefix" then prefix ();

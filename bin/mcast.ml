@@ -14,6 +14,8 @@
      soak                chaos soak: continuous recovery over a fail/repair timeline
      sessions            online session engine: rolling-horizon admission and
                          incremental re-planning over a churning session stream
+     incidents           soak under SLO objectives, report fault -> breach ->
+                         repair -> recovery incident timelines
      profile             run a workload under tracing, print a self-time profile
      prefix              Theorem 5 parallel-prefix gadget walk-through
      gadget              set-cover gadget and the Theorem 1 correspondence *)
@@ -59,8 +61,11 @@ let metrics_arg =
 
 (* Bracket a subcommand body with the observability layer: start tracing if
    --trace was given, snapshot the metric registry if --metrics was, and on
-   the way out (even on failure) export the trace and print the deltas. *)
-let with_observability ~trace ~metrics f =
+   the way out (even on failure) export the trace and print the deltas.
+   [counters] is evaluated at export time so drivers that sample a
+   Timeseries sink during the run get their series appended to the trace
+   as Perfetto counter tracks. *)
+let with_observability ?(counters = fun () -> []) ~trace ~metrics f =
   if trace <> None then Trace.enable ();
   let before = if metrics then Some (Metrics.snapshot ()) else None in
   Fun.protect
@@ -69,7 +74,7 @@ let with_observability ~trace ~metrics f =
       | None -> ()
       | Some path ->
         let n = List.length (Trace.events ()) and d = Trace.dropped () in
-        Trace.export path;
+        Trace.export ~counters:(counters ()) path;
         Trace.disable ();
         Printf.printf "trace: wrote %d events to %s (%d dropped%s)\n" n path d
           (if d > 0 then ": ring full, trace is partial" else ""));
@@ -79,6 +84,74 @@ let with_observability ~trace ~metrics f =
         print_string "metrics:\n";
         print_string (Metrics.to_text (Metrics.delta ~before (Metrics.snapshot ()))))
     f
+
+(* --- time-series / SLO plumbing shared by soak, sessions and incidents --- *)
+
+let slo_arg =
+  let doc =
+    "SLO objective over a sampled series: $(b,SERIES>=T) or $(b,SERIES<=T), \
+     optionally followed by comma-separated tuning keys, e.g. \
+     $(b,soak.availability>=0.99,fast=20,slow=100,hold=25) (keys: budget, fast, \
+     slow, fastburn, slowburn, hold, name). Repeatable. Breaches are evaluated \
+     with the standard fast/slow error-budget burn-rate pair."
+  in
+  Arg.(value & opt_all string [] & info [ "slo" ] ~docv:"SPEC" ~doc)
+
+let timeseries_arg =
+  let doc =
+    "Export the sampled time series to $(docv): a $(b,.json) suffix selects the \
+     JSON rollup document, anything else OpenMetrics text. Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "timeseries" ] ~docv:"FILE" ~doc)
+
+let parse_slo_specs specs =
+  List.map
+    (fun s ->
+      match Slo.parse s with
+      | Ok o -> o
+      | Error e -> failwith (Printf.sprintf "--slo %s: %s" s e))
+    specs
+
+(* The sink exists whenever something will consume it: an export file, SLO
+   objectives to evaluate, or a trace to append counter tracks to. *)
+let make_sink ~timeseries ~slo ~trace =
+  if timeseries = [] && slo = [] && trace = None then None
+  else Some (Timeseries.create ())
+
+let sink_counters sink () =
+  match sink with Some s -> Timeseries.counter_tracks s | None -> []
+
+let export_timeseries sink paths =
+  match sink with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun path ->
+        let text =
+          if Filename.check_suffix path ".json" then Timeseries.to_json s
+          else Timeseries.to_openmetrics s
+        in
+        Out_channel.with_open_text path (fun oc -> output_string oc text);
+        Printf.printf "timeseries: wrote %d series to %s\n"
+          (List.length (Timeseries.names s))
+          path)
+      paths
+
+let print_slo_events objectives events =
+  if objectives <> [] then begin
+    let breaches =
+      List.length (List.filter (fun (e : Slo.event) -> e.Slo.e_kind = `Breach) events)
+    in
+    Printf.printf "slo: %d objective(s), %d breach(es), %d recover(ies)\n"
+      (List.length objectives) breaches
+      (List.length events - breaches);
+    List.iter
+      (fun (e : Slo.event) ->
+        Printf.printf "  t=%-10g %-8s %s (fast burn %.2fx, slow %.2fx)\n" e.Slo.e_at
+          (match e.Slo.e_kind with `Breach -> "breach" | `Recovery -> "recovery")
+          e.Slo.e_objective e.Slo.e_fast_burn e.Slo.e_slow_burn)
+      events
+  end
 
 (* One-line solver/cache telemetry, printed after the heavy subcommands. *)
 let print_perf_counters () =
@@ -119,7 +192,8 @@ let platform_of_kind rng kind ~n_targets =
   | "two-relay" -> Paper_platforms.two_relay ()
   | other -> failwith ("unknown platform kind: " ^ other)
 
-let generate kind seed n_targets out =
+let generate kind seed n_targets out trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let rng = Random.State.make [| seed |] in
   let p = platform_of_kind rng kind ~n_targets in
   let text = Platform_io.to_string p in
@@ -144,11 +218,12 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a platform instance")
-    Term.(const generate $ kind $ seed_arg $ n_targets $ out)
+    Term.(const generate $ kind $ seed_arg $ n_targets $ out $ trace_arg $ metrics_arg)
 
 (* --- bounds --- *)
 
-let bounds file =
+let bounds file trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p = read_platform file in
   Printf.printf "%s\n" (Platform.describe p);
   Format.printf "topology: %a@." Topology_stats.pp (Topology_stats.compute p);
@@ -167,11 +242,13 @@ let bounds file =
   | Error e -> Printf.printf "bound chain: VIOLATED (%s)\n" e
 
 let bounds_cmd =
-  Cmd.v (Cmd.info "bounds" ~doc:"LP bounds of an instance") Term.(const bounds $ platform_arg)
+  Cmd.v (Cmd.info "bounds" ~doc:"LP bounds of an instance")
+    Term.(const bounds $ platform_arg $ trace_arg $ metrics_arg)
 
 (* --- heuristics --- *)
 
-let heuristics file tries sources =
+let heuristics file tries sources trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p = read_platform file in
   Printf.printf "%s\n" (Platform.describe p);
   let report = Heuristics.run_all ?max_tries_per_round:tries ~max_sources:sources p in
@@ -193,11 +270,12 @@ let heuristics_cmd =
   in
   Cmd.v
     (Cmd.info "heuristics" ~doc:"Run the paper's heuristic portfolio")
-    Term.(const heuristics $ platform_arg $ tries $ sources)
+    Term.(const heuristics $ platform_arg $ tries $ sources $ trace_arg $ metrics_arg)
 
 (* --- tree --- *)
 
-let tree file dot_out =
+let tree file dot_out trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p = read_platform file in
   match Mcph.run p with
   | None -> failwith "some target is unreachable"
@@ -226,11 +304,12 @@ let tree_cmd =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
   in
   Cmd.v (Cmd.info "tree" ~doc:"One-port MCPH multicast tree")
-    Term.(const tree $ platform_arg $ dot)
+    Term.(const tree $ platform_arg $ dot $ trace_arg $ metrics_arg)
 
 (* --- simulate --- *)
 
-let simulate file periods =
+let simulate file periods trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p = read_platform file in
   match Mcph.run p with
   | None -> failwith "some target is unreachable"
@@ -259,11 +338,12 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Schedule the MCPH tree and replay it")
-    Term.(const simulate $ platform_arg $ periods)
+    Term.(const simulate $ platform_arg $ periods $ trace_arg $ metrics_arg)
 
 (* --- broadcast-schedule --- *)
 
-let broadcast_schedule file periods =
+let broadcast_schedule file periods trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p = read_platform file in
   match Formulations.broadcast_eb p with
   | None -> failwith "broadcast infeasible (disconnected platform)"
@@ -292,11 +372,12 @@ let broadcast_schedule_cmd =
   Cmd.v
     (Cmd.info "broadcast-schedule"
        ~doc:"Pack Broadcast-EB into arborescences, schedule and simulate")
-    Term.(const broadcast_schedule $ platform_arg $ periods)
+    Term.(const broadcast_schedule $ platform_arg $ periods $ trace_arg $ metrics_arg)
 
 (* --- scatter-schedule --- *)
 
-let scatter_schedule file periods =
+let scatter_schedule file periods trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let p = read_platform file in
   match Formulations.multicast_ub p with
   | None -> failwith "some target is unreachable"
@@ -325,7 +406,7 @@ let scatter_schedule_cmd =
   Cmd.v
     (Cmd.info "scatter-schedule"
        ~doc:"Build and simulate the schedule realizing Multicast-UB")
-    Term.(const scatter_schedule $ platform_arg $ periods)
+    Term.(const scatter_schedule $ platform_arg $ periods $ trace_arg $ metrics_arg)
 
 (* --- resilience --- *)
 
@@ -623,8 +704,10 @@ let rat_arg ~what s =
 
 let soak file kind seed n_targets horizon scenario_kind mtbf mttr flap_links flaps
     mean_up mean_down waves wave_period wave_factor wave_rate controller tokens
-    token_refill hysteresis min_availability show_log trace metrics =
-  with_observability ~trace ~metrics @@ fun () ->
+    token_refill hysteresis min_availability show_log slo timeseries trace metrics =
+  let objectives = parse_slo_specs slo in
+  let sink = make_sink ~timeseries ~slo ~trace in
+  with_observability ~counters:(sink_counters sink) ~trace ~metrics @@ fun () ->
   with_seed_reporting ~seed @@ fun () ->
   let p =
     match file with
@@ -677,7 +760,7 @@ let soak file kind seed n_targets horizon scenario_kind mtbf mttr flap_links fla
     let config =
       { base with Soak.controller; token_capacity = tokens; token_refill; hysteresis }
     in
-    match Soak.run ~config p sched scenario ~horizon with
+    match Soak.run ~config ?telemetry:sink ~slo:objectives p sched scenario ~horizon with
     | Error e -> failwith ("soak rejected: " ^ e)
     | Ok rep ->
       Format.printf "%a@." Soak.pp_report rep;
@@ -685,6 +768,8 @@ let soak file kind seed n_targets horizon scenario_kind mtbf mttr flap_links fla
         Printf.printf "event log:\n";
         List.iter (fun ev -> Format.printf "  %a@." Soak.pp_event ev) rep.Soak.sk_log
       end;
+      print_slo_events objectives rep.Soak.sk_slo_events;
+      export_timeseries sink timeseries;
       print_perf_counters ();
       (match min_availability with
       | Some m when rep.Soak.sk_availability < m ->
@@ -794,14 +879,16 @@ let soak_cmd =
       const soak $ platform_arg $ kind $ seed_arg $ n_targets $ horizon $ scenario
       $ mtbf $ mttr $ flap_links $ flaps $ mean_up $ mean_down $ waves $ wave_period
       $ wave_factor $ wave_rate $ controller $ tokens $ token_refill $ hysteresis
-      $ min_availability $ show_log $ trace_arg $ metrics_arg)
+      $ min_availability $ show_log $ slo_arg $ timeseries_arg $ trace_arg $ metrics_arg)
 
 (* --- sessions --- *)
 
 let sessions file kind seed n_targets horizon arrival_rate hold_mean demand_lo
     demand_hi flash_rate epoch mode jobs scenario_kind mtbf mttr burst_k burst_at
-    min_admitted show_digest show_epochs trace metrics =
-  with_observability ~trace ~metrics @@ fun () ->
+    min_admitted show_digest show_epochs slo slo_enforce timeseries trace metrics =
+  let objectives = parse_slo_specs slo in
+  let sink = make_sink ~timeseries ~slo ~trace in
+  with_observability ~counters:(sink_counters sink) ~trace ~metrics @@ fun () ->
   with_seed_reporting ~seed @@ fun () ->
   let p =
     match file with
@@ -862,7 +949,10 @@ let sessions file kind seed n_targets horizon arrival_rate hold_mean demand_lo
     scenario_kind (List.length faults) (Rat.to_string horizon)
     (Rat.to_string config.Horizon.epoch)
     (match mode with `Incremental -> "incremental" | `Cold -> "cold");
-  match Horizon.run ~config ~faults p workload ~horizon with
+  match
+    Horizon.run ~config ~faults ?telemetry:sink ~slo:objectives ~slo_enforce p workload
+      ~horizon
+  with
   | Error e -> failwith ("sessions rejected: " ^ e)
   | Ok rep ->
     Format.printf "%a@." Horizon.pp_report rep;
@@ -884,6 +974,8 @@ let sessions file kind seed n_targets horizon arrival_rate hold_mean demand_lo
         rep.Horizon.hz_epochs
     end;
     if show_digest then Printf.printf "digest: %s\n" (Horizon.digest rep);
+    print_slo_events objectives rep.Horizon.hz_slo_events;
+    export_timeseries sink timeseries;
     print_perf_counters ();
     (match min_admitted with
     | Some m when rep.Horizon.hz_admitted < m ->
@@ -974,6 +1066,15 @@ let sessions_cmd =
     let doc = "Print the per-epoch log (epochs with any activity)." in
     Arg.(value & flag & info [ "epochs" ] ~doc)
   in
+  let slo_enforce =
+    let doc =
+      "Feed per-session burn rates back into the planner: sessions burning their \
+       error budget apply re-plans first and are degraded/preempted last within \
+       their priority class. Admission outcomes are unchanged; worst-case \
+       delivered fraction improves."
+    in
+    Arg.(value & flag & info [ "slo-enforce" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "sessions"
        ~doc:"Online session engine: rolling-horizon admission, incremental \
@@ -982,7 +1083,118 @@ let sessions_cmd =
       const sessions $ platform_arg $ kind $ seed_arg $ n_targets $ horizon
       $ arrival_rate $ hold_mean $ demand_lo $ demand_hi $ flash_rate $ epoch $ mode
       $ jobs_arg $ scenario $ mtbf $ mttr $ burst_k $ burst_at $ min_admitted
-      $ show_digest $ show_epochs $ trace_arg $ metrics_arg)
+      $ show_digest $ show_epochs $ slo_arg $ slo_enforce $ timeseries_arg $ trace_arg
+      $ metrics_arg)
+
+(* --- incidents --- *)
+
+(* Seeded soak under SLO objectives, distilled into incident timelines:
+   fault -> breach -> repair -> recovery chains. Same seed streams as the
+   soak subcommand, so `mcast incidents --seed S` narrates the run
+   `mcast soak --seed S` reports on. *)
+
+let incidents file kind seed n_targets horizon mtbf mttr slo lookback json_out
+    timeseries trace metrics =
+  let slo = if slo = [] then [ "soak.availability>=0.995" ] else slo in
+  let objectives = parse_slo_specs slo in
+  let sink = make_sink ~timeseries ~slo ~trace in
+  with_observability ~counters:(sink_counters sink) ~trace ~metrics @@ fun () ->
+  with_seed_reporting ~seed @@ fun () ->
+  let p =
+    match file with
+    | Some _ -> read_platform file
+    | None ->
+      let rng = Random.State.make [| seed |] in
+      platform_of_kind rng kind ~n_targets
+  in
+  let horizon = rat_arg ~what:"--horizon" horizon in
+  if Rat.sign horizon <= 0 then failwith "--horizon must be positive";
+  let rng = Random.State.make [| seed; 7001 |] in
+  let scenario = Fault.renewal_link_faults rng p ~mtbf ~mttr ~horizon in
+  Printf.printf "%s\n" (Platform.describe p);
+  Printf.printf "scenario: renewal, %d fault events, horizon %s; objectives: %s\n"
+    (List.length scenario) (Rat.to_string horizon)
+    (String.concat ", " (List.map Slo.spec objectives));
+  match Mcph.run p with
+  | None -> failwith "some target is unreachable"
+  | Some r -> (
+    let sched =
+      Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ])
+    in
+    (match Schedule.check sched with
+    | Ok () -> ()
+    | Error e -> failwith ("baseline schedule check failed: " ^ e));
+    match Soak.run ?telemetry:sink ~slo:objectives p sched scenario ~horizon with
+    | Error e -> failwith ("soak rejected: " ^ e)
+    | Ok rep ->
+      (* Repair actions as the incident layer sees them: recovery episodes
+         and capacity re-integrations from the controller log. *)
+      let repairs =
+        List.filter_map
+          (function
+            | Soak.Episode { at; outcome; patched } when outcome <> "cached" ->
+              Some
+                ( Rat.to_float at,
+                  Printf.sprintf "recovery episode: %s%s" outcome
+                    (if patched then " (incremental patch)" else "") )
+            | Soak.Reintegrated { at; before; after } ->
+              Some
+                ( Rat.to_float at,
+                  Printf.sprintf "reintegrated healed capacity %.3f -> %.3f" before
+                    after )
+            | _ -> None)
+          rep.Soak.sk_log
+      in
+      let incidents =
+        Incident.build ~lookback ~faults:scenario ~repairs rep.Soak.sk_slo_events
+      in
+      print_string (Incident.to_text incidents);
+      export_timeseries sink timeseries;
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Incident.to_json incidents));
+        Printf.printf "incidents json: wrote %s\n" path))
+
+let incidents_cmd =
+  let kind =
+    let doc = "Platform kind when no file is given (see $(b,generate))." in
+    Arg.(value & opt string "tiers-small" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n_targets =
+    let doc = "Number of multicast targets for generated platforms." in
+    Arg.(value & opt int 8 & info [ "targets" ] ~docv:"N" ~doc)
+  in
+  let horizon =
+    let doc = "Simulated soak horizon (rational time units)." in
+    Arg.(value & opt string "600" & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let mtbf =
+    let doc = "Mean time between failures (per link)." in
+    Arg.(value & opt float 1500. & info [ "mtbf" ] ~docv:"T" ~doc)
+  in
+  let mttr =
+    let doc = "Mean time to repair." in
+    Arg.(value & opt float 30. & info [ "mttr" ] ~docv:"T" ~doc)
+  in
+  let lookback =
+    let doc =
+      "Attribute faults up to $(docv) time units before a breach as probable causes."
+    in
+    Arg.(value & opt float 25. & info [ "lookback" ] ~docv:"T" ~doc)
+  in
+  let json_out =
+    let doc = "Write the incident list as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "incidents"
+       ~doc:"Soak under SLO objectives and report fault -> breach -> repair -> \
+             recovery incident timelines")
+    Term.(
+      const incidents $ platform_arg $ kind $ seed_arg $ n_targets $ horizon $ mtbf
+      $ mttr $ slo_arg $ lookback $ json_out $ timeseries_arg $ trace_arg $ metrics_arg)
 
 (* --- profile --- *)
 
@@ -992,7 +1204,7 @@ let sessions_cmd =
    the profile (self-time table, LP attribution, pool utilization), not the
    planning report. *)
 
-let profile_workloads = [ "robust"; "resilience"; "heuristics" ]
+let profile_workloads = [ "robust"; "resilience"; "heuristics"; "sessions"; "soak" ]
 
 let run_profile_workload ~workload ~seed ~loss_bound ~max_scenarios ~with_lb ~jobs
     ~periods ~tries p =
@@ -1045,6 +1257,36 @@ let run_profile_workload ~workload ~seed ~loss_bound ~max_scenarios ~with_lb ~jo
       Printf.printf "workload heuristics: %d methods, best %s (period %.4f)\n"
         (List.length report.Heuristics.entries)
         e.Heuristics.name e.Heuristics.period)
+  | "sessions" -> (
+    let horizon = Rat.of_int 200 in
+    let workload =
+      Workload.generate
+        (Random.State.make [| seed; 9001 |])
+        p Workload.default_params ~horizon
+    in
+    let config = { Horizon.default_config with Horizon.jobs } in
+    match Horizon.run ~config p workload ~horizon with
+    | Error e -> failwith e
+    | Ok rep ->
+      Printf.printf
+        "workload sessions: %d admitted, %d rejected, %d re-plans (%d skipped)\n"
+        rep.Horizon.hz_admitted rep.Horizon.hz_rejected rep.Horizon.hz_replans
+        rep.Horizon.hz_replans_skipped)
+  | "soak" -> (
+    match Mcph.run p with
+    | None -> failwith "some target is unreachable"
+    | Some r -> (
+      let sched =
+        Schedule.of_tree_set (Tree_set.make [ (r.Mcph.tree, Rat.inv r.Mcph.period) ])
+      in
+      let horizon = Rat.of_int 400 in
+      let rng = Random.State.make [| seed; 7001 |] in
+      let scenario = Fault.renewal_link_faults rng p ~mtbf:400. ~mttr:25. ~horizon in
+      match Soak.run p sched scenario ~horizon with
+      | Error e -> failwith e
+      | Ok rep ->
+        Printf.printf "workload soak: availability %.4f, %d full re-plans, %d patches\n"
+          rep.Soak.sk_availability rep.Soak.sk_full_replans rep.Soak.sk_patches))
   | other ->
     failwith
       (Printf.sprintf "unknown workload %s (expected one of: %s)" other
@@ -1179,8 +1421,9 @@ let profile_cmd =
   let workload =
     let doc =
       "Workload to run under tracing: $(b,robust) (proactive robust planning), \
-       $(b,resilience) (fault injection + repair) or $(b,heuristics) (the paper's \
-       method portfolio)."
+       $(b,resilience) (fault injection + repair), $(b,heuristics) (the paper's \
+       method portfolio), $(b,sessions) (the rolling-horizon session engine) or \
+       $(b,soak) (the chaos-soak recovery controller)."
     in
     Arg.(value & opt string "robust" & info [ "workload" ] ~docv:"W" ~doc)
   in
@@ -1233,7 +1476,8 @@ let profile_cmd =
 
 (* --- prefix --- *)
 
-let prefix_cmd_run seed universe n_sets bound =
+let prefix_cmd_run seed universe n_sets bound trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let rng = Random.State.make [| seed |] in
   let cover = Set_cover.random rng ~universe ~n_sets ~density:0.4 in
   Format.printf "instance: %a@." Set_cover.pp cover;
@@ -1256,11 +1500,12 @@ let prefix_cmd =
   let bound = Arg.(value & opt int 2 & info [ "bound" ] ~docv:"B" ~doc:"Cover size bound.") in
   Cmd.v
     (Cmd.info "prefix" ~doc:"Theorem 5 parallel-prefix gadget walk-through")
-    Term.(const prefix_cmd_run $ seed_arg $ universe $ n_sets $ bound)
+    Term.(const prefix_cmd_run $ seed_arg $ universe $ n_sets $ bound $ trace_arg $ metrics_arg)
 
 (* --- gadget --- *)
 
-let gadget seed universe n_sets bound =
+let gadget seed universe n_sets bound trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let rng = Random.State.make [| seed |] in
   let cover = Set_cover.random rng ~universe ~n_sets ~density:0.35 in
   Format.printf "instance: %a@." Set_cover.pp cover;
@@ -1287,7 +1532,7 @@ let gadget_cmd =
   let bound = Arg.(value & opt int 2 & info [ "bound" ] ~docv:"B" ~doc:"Cover size bound.") in
   Cmd.v
     (Cmd.info "gadget" ~doc:"Set-cover gadget and the NP-hardness correspondence")
-    Term.(const gadget $ seed_arg $ universe $ n_sets $ bound)
+    Term.(const gadget $ seed_arg $ universe $ n_sets $ bound $ trace_arg $ metrics_arg)
 
 let main_cmd =
   let doc = "steady-state pipelined multicast on heterogeneous platforms" in
@@ -1304,6 +1549,7 @@ let main_cmd =
       robust_cmd;
       soak_cmd;
       sessions_cmd;
+      incidents_cmd;
       profile_cmd;
       prefix_cmd;
       gadget_cmd;

@@ -57,8 +57,24 @@ val histogram : string -> histogram
 
 val observe : histogram -> float -> unit
 
-(** Aggregated histogram state: [h_min]/[h_max] are 0 when [h_count] is. *)
-type histo = { h_count : int; h_sum : float; h_min : float; h_max : float }
+(** Aggregated histogram state: [h_min]/[h_max] are 0 when [h_count] is.
+    [h_buckets] holds log-scale bucket counts (fixed layout: underflow
+    below 1e-9, 10 buckets per decade up to 1e3, overflow above) behind
+    the {!histo_percentile} estimates — treat it as opaque. *)
+type histo = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : int array;
+}
+
+(** [histo_percentile h q] estimates the [q]-quantile ([q] in [\[0,1\]])
+    by nearest rank over the log-scale buckets, clamped into the exact
+    [\[h_min, h_max\]] range — so the estimate is within one bucket
+    width (~26% relative) of the true order statistic, which is enough
+    to gate tail-latency blowups. [0.] when empty. *)
+val histo_percentile : histo -> float -> float
 
 type value =
   | Counter of int
@@ -85,7 +101,9 @@ val delta : before:snapshot -> snapshot -> snapshot
 val to_text : snapshot -> string
 
 (** JSON object keyed by metric name; counters and gauges are numbers,
-    histograms are [{"count":..,"sum":..,"min":..,"max":..}] objects. *)
+    histograms are [{"count":..,"sum":..,"min":..,"max":..,"p50":..,
+    "p90":..,"p99":..}] objects (percentiles via {!histo_percentile},
+    so {!Regress} rules can gate tail latency, not just sums). *)
 val to_json : snapshot -> string
 
 (** Zero every registered metric (the registry keeps its names). Same

@@ -33,6 +33,18 @@ let default_rules ?(tolerance = 0.25) ?time_tolerance () =
        catches both "stopped admitting" and "stopped skipping". *)
     { r_prefix = "session.admitted"; r_dir = Not_below; r_tol = tolerance };
     { r_prefix = "session.replan_seconds.sum"; r_dir = Not_above; r_tol = tt };
+    (* Tail-latency gates (PR 10): histogram snapshots now carry p50/p90/
+       p99, so the p99s get their own wall-time-tolerance rules — a
+       planner change that keeps the sum flat but grows the tail still
+       fails. *)
+    { r_prefix = "session.replan_seconds.p99"; r_dir = Not_above; r_tol = tt };
+    { r_prefix = "recovery.replan_seconds.p99"; r_dir = Not_above; r_tol = tt };
+    (* SLO engine (PR 10): breach exposure on the gated workloads must
+       not grow, and the worst per-session delivered fraction the S1
+       SLO leg reports (last-write-wins gauge, enforcement leg runs
+       last) must not fall. *)
+    { r_prefix = "slo.breach_epochs"; r_dir = Not_above; r_tol = tolerance };
+    { r_prefix = "session.delivered_fraction.min"; r_dir = Not_below; r_tol = tolerance };
   ]
 
 type status = Passed | Regressed | Missing
@@ -66,6 +78,9 @@ let flatten_snapshot snap =
           (name ^ ".sum", h.Metrics.h_sum);
           (name ^ ".min", h.Metrics.h_min);
           (name ^ ".max", h.Metrics.h_max);
+          (name ^ ".p50", Metrics.histo_percentile h 0.50);
+          (name ^ ".p90", Metrics.histo_percentile h 0.90);
+          (name ^ ".p99", Metrics.histo_percentile h 0.99);
         ])
     snap
 

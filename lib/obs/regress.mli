@@ -15,7 +15,8 @@
     written by {!Metrics.to_json}) and the [mcast profile --json] output
     (whose metrics live under a top-level ["metrics"] key). Histogram
     objects flatten to [name.count] / [name.sum] / [name.min] /
-    [name.max]; non-numeric values are ignored. {!flatten_snapshot} does
+    [name.max] / [name.p50] / [name.p90] / [name.p99]; non-numeric
+    values are ignored. {!flatten_snapshot} does
     the same for an in-process {!Metrics.snapshot}, so the bench can
     gate its own live registry against a file.
 
@@ -61,7 +62,13 @@ type rule = { r_prefix : string; r_dir : direction; r_tol : float }
     [session.admitted] must not fall and [session.replan_seconds.sum]
     must not grow more than [time_tolerance] — together they catch a
     {!Horizon} change that stops admitting or stops skipping
-    unnecessary re-plans. *)
+    unnecessary re-plans. The SLO/tail gate (PR 10):
+    [session.replan_seconds.p99] and [recovery.replan_seconds.p99]
+    must not grow more than [time_tolerance] (a flat sum no longer
+    hides a fatter tail), [slo.breach_epochs] must not grow, and
+    [session.delivered_fraction.min] (the S1 SLO leg's worst
+    per-session delivered fraction, last-write-wins from the
+    enforcement leg) must not fall. *)
 val default_rules : ?tolerance:float -> ?time_tolerance:float -> unit -> rule list
 
 type status =

@@ -163,7 +163,18 @@ let json_event buf ev =
   json_args buf ev.ev_args;
   Buffer.add_char buf '}'
 
-let to_chrome_json () =
+(* Perfetto counter tracks: one "C"-phase event per sample point, so a
+   time series renders as a stacked counter chart alongside the span
+   tracks. Times are the caller's (seconds → µs), values go in args. *)
+let json_counter buf ~name ~t ~v =
+  Buffer.add_string buf "{\"name\":";
+  json_escape buf name;
+  Buffer.add_string buf (Printf.sprintf ",\"cat\":\"timeseries\",\"ph\":\"C\",\"ts\":%.3f" (t *. 1e6));
+  Buffer.add_string buf ",\"pid\":1,\"tid\":0,\"args\":{\"value\":";
+  json_float buf v;
+  Buffer.add_string buf "}}"
+
+let to_chrome_json ?(counters = []) () =
   let evs = events () in
   let d = dropped () in
   (* Drop accounting travels inside the artifact: a trailing instant makes
@@ -186,9 +197,18 @@ let to_chrome_json () =
       if i > 0 then Buffer.add_char buf ',';
       json_event buf ev)
     (evs @ [ summary ]);
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (t, v) ->
+          Buffer.add_char buf ',';
+          json_counter buf ~name ~t ~v)
+        points)
+    counters;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 
-let export path =
+let export ?counters path =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_chrome_json ()))
+  Fun.protect ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ?counters ()))

@@ -98,8 +98,16 @@ val dropped : unit -> int
     [trace.dropped] instant (category ["trace"]) carrying [dropped] and
     [recorded] counts, so a truncated ring is visible from the artifact
     alone — a trace with [dropped > 0] is a partial record and profiles
-    computed from it undercount. *)
-val to_chrome_json : unit -> string
+    computed from it undercount.
 
-(** [export path] writes {!to_chrome_json} to [path]. *)
-val export : string -> unit
+    [counters] appends Perfetto counter tracks (PR 10): per
+    [(name, points)] series, one ["C"]-phase event per [(time, value)]
+    point (category ["timeseries"], value under [args.value]), the
+    shape {!Timeseries.counter_tracks} produces — so sampled series
+    render as counter charts alongside the span tracks. Counter
+    timestamps are the caller's time base (simulated seconds for the
+    drivers), not the span clock. *)
+val to_chrome_json : ?counters:(string * (float * float) list) list -> unit -> string
+
+(** [export ?counters path] writes {!to_chrome_json} to [path]. *)
+val export : ?counters:(string * (float * float) list) list -> string -> unit

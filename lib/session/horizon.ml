@@ -53,6 +53,7 @@ type session_record = {
   sr_lb : float;
   sr_replans : int;
   sr_degraded_epochs : int;
+  sr_burn_epochs : int;
   sr_slo_ok : bool;
 }
 
@@ -92,6 +93,8 @@ type report = {
   hz_admitted_rate_sum : float;
   hz_mean_lb_gap : float;
   hz_schedules : (int * int * Schedule.t) list;
+  hz_slo_events : Slo.event list;
+  hz_min_delivered_fraction : float;
 }
 
 (* --- metrics ----------------------------------------------------------- *)
@@ -106,6 +109,7 @@ let m_replans = Metrics.counter "session.replans"
 let m_skipped = Metrics.counter "session.replans_skipped"
 let m_epoch_seconds = Metrics.histogram "session.replan_seconds"
 let m_active = Metrics.gauge "session.active"
+let m_df_min = Metrics.gauge "session.delivered_fraction.min"
 
 (* --- exact-rate helpers ------------------------------------------------ *)
 
@@ -234,6 +238,11 @@ type live = {
   mutable l_lb : float;
   mutable l_replans : int;
   mutable l_degraded_epochs : int;
+  mutable l_epochs_live : int;  (* epochs this session has been live, for burn rates *)
+  mutable l_burn_epochs : int;
+      (* epochs spent below [slo_retention * admitted] at the epoch
+         boundary — suspended epochs included, unlike
+         [l_degraded_epochs], which counts degrade *actions* *)
   mutable l_release : int;
       (* the global release counter at the last plan: a hungry session
          re-plans only when capacity has been released since *)
@@ -249,8 +258,8 @@ let percentile sorted q =
 
 (* --- the rolling-horizon loop ------------------------------------------ *)
 
-let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
-    (p : Platform.t) sessions ~horizon =
+let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = []) ?telemetry
+    ?(slo = []) ?(slo_enforce = false) (p : Platform.t) sessions ~horizon =
   let ( let* ) = Result.bind in
   let* () = validate_config config in
   let* () = if Rat.sign horizon > 0 then Ok () else Error "horizon must be positive" in
@@ -267,6 +276,23 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
   let release_version = ref 0 in
   let bump_release () = incr release_version in
   let live : (int, live) Hashtbl.t = Hashtbl.create 64 in
+  (* SLO machinery. The engine and the sink are pure observers: they
+     consume values the planner already computed, on epoch boundaries
+     only, and nothing below reads them back — so sampling cannot
+     perturb the decision digest (pinned by a seeded test). Enforcement
+     is separate and explicit: [slo_enforce] changes re-plan apply
+     order and victim preference using the per-session burn rate. *)
+  let slo_engine = if slo = [] then None else Some (Slo.engine slo) in
+  (* Per-session error budget: a session may spend at most
+     [1 - slo_retention] of its lifetime degraded; its burn rate is the
+     degraded-epoch fraction over that budget (SRE burn-rate form, same
+     math as {!Slo} but per session and over the whole lifetime). *)
+  let session_budget = Float.max 0.001 (1.0 -. config.slo_retention) in
+  let burn_of l =
+    if l.l_epochs_live = 0 then 0.0
+    else float_of_int l.l_burn_epochs /. float_of_int l.l_epochs_live /. session_budget
+  in
+  let burning l = burn_of l >= 1.0 in
   let records = ref [] in
   let epochs = ref [] in
   let schedules = ref [] in
@@ -385,6 +411,7 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
         sr_lb = l.l_lb;
         sr_replans = l.l_replans;
         sr_degraded_epochs = l.l_degraded_epochs;
+        sr_burn_epochs = l.l_burn_epochs;
         sr_slo_ok = slo_ok;
       }
       :: !records
@@ -400,6 +427,7 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
         sr_lb = 0.0;
         sr_replans = 0;
         sr_degraded_epochs = 0;
+        sr_burn_epochs = 0;
         sr_slo_ok = false;
       }
       :: !records
@@ -514,8 +542,28 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
                  plan_session ~chain pd l.l_sess ~free_send:fs ~free_recv:fr ~warm)
                tasks
            in
-           List.iter2
-             (fun (l, _, _, _) result ->
+           (* Enforcement lever 1: apply order. Plans were computed from
+              one consistent snapshot (the Pool results above are
+              order-independent), but they are priced and installed
+              sequentially against live residuals — so whoever applies
+              first captures freed capacity. Under enforcement, sessions
+              burning their error budget apply first (worst burn first,
+              id as the deterministic tie-break); admission decisions
+              happen later against the resulting totals, and the S1
+              bench shape-checks that they are unchanged. *)
+           let pairs = List.combine tasks results in
+           let pairs =
+             if not slo_enforce then pairs
+             else
+               List.stable_sort
+                 (fun ((a, _, _, _), _) ((b, _, _, _), _) ->
+                   match Float.compare (burn_of b) (burn_of a) with
+                   | 0 -> compare a.l_sess.Session.id b.l_sess.Session.id
+                   | c -> c)
+                 pairs
+           in
+           List.iter
+             (fun ((l, _, _, _), result) ->
                incr ep_rpl;
                incr total_replans;
                l.l_replans <- l.l_replans + 1;
@@ -592,7 +640,7 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
                    l.l_degraded_epochs <- l.l_degraded_epochs + 1;
                    incr ep_deg
                  end))
-             tasks results;
+             pairs;
            (* 5. admission control over this epoch's arrivals *)
            let arrivals, later =
              List.partition (fun (s : Session.t) -> Rat.(s.Session.arrival <= t)) !pending
@@ -675,6 +723,8 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
                        l_lb = pl.pl_lb;
                        l_replans = 0;
                        l_degraded_epochs = 0;
+                       l_epochs_live = 0;
+                       l_burn_epochs = 0;
                        l_release = !release_version;
                        l_sched = None;
                      }
@@ -696,15 +746,30 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
                          && Rat.sign l.l_rate > 0)
                        (Hashtbl.fold (fun _ l acc -> l :: acc) live [])
                    in
+                   (* Enforcement lever 2: within a priority class,
+                      victims already burning their budget are degraded
+                      first — their budget is sunk cost, so charging
+                      them keeps a slack-rich peer inside its SLO
+                      instead of starting a fresh breach. (The naive
+                      opposite — sparing the burning — measurably burns
+                      more total budget: the spared session is often
+                      unroutable after a fault, so protecting it just
+                      degrades healthy peers for nothing.) Off, the
+                      PR 9 ordering is unchanged. *)
                    let victims =
                      List.sort
                        (fun a b ->
                          match compare a.l_sess.Session.priority b.l_sess.Session.priority with
                          | 0 -> (
                            match
-                             Rat.compare b.l_sess.Session.arrival a.l_sess.Session.arrival
+                             if slo_enforce then compare (burning b) (burning a) else 0
                            with
-                           | 0 -> compare b.l_sess.Session.id a.l_sess.Session.id
+                           | 0 -> (
+                             match
+                               Rat.compare b.l_sess.Session.arrival a.l_sess.Session.arrival
+                             with
+                             | 0 -> compare b.l_sess.Session.id a.l_sess.Session.id
+                             | c -> c)
                            | c -> c)
                          | c -> c)
                        victims
@@ -783,6 +848,66 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
                (Array.fold_left Rat.max Rat.zero send_tot)
                recv_tot
            in
+           (* lifetime accounting for burn rates: every session live at
+              this epoch boundary has lived one more epoch, and one spent
+              below its retention floor — suspension included — burns
+              error budget *)
+           Hashtbl.iter
+             (fun _ l ->
+               l.l_epochs_live <- l.l_epochs_live + 1;
+               if
+                 Rat.sign l.l_admitted > 0
+                 && Rat.to_float l.l_rate
+                    < (config.slo_retention *. Rat.to_float l.l_admitted) -. 1e-12
+               then l.l_burn_epochs <- l.l_burn_epochs + 1)
+             live;
+           (* Epoch-boundary sampling: throughput, admissions, port
+              headroom and the worst per-session retention/delivered
+              fraction, into the sink and through the SLO engine. All
+              values are reads of state already computed above. *)
+           if telemetry <> None || slo_engine <> None then begin
+             let tf = Rat.to_float t in
+             let throughput =
+               Hashtbl.fold (fun _ l acc -> acc +. Rat.to_float l.l_rate) live 0.0
+             in
+             let fold_min f =
+               Hashtbl.fold
+                 (fun _ l acc ->
+                   match f l with Some v -> Float.min acc v | None -> acc)
+                 live 1.0
+             in
+             let retention_min =
+               fold_min (fun l ->
+                   if Rat.sign l.l_admitted > 0 then
+                     Some (Rat.to_float l.l_rate /. Rat.to_float l.l_admitted)
+                   else None)
+             in
+             let delivered_min =
+               fold_min (fun l ->
+                   if Rat.sign l.l_sess.Session.demand > 0 then
+                     Some (Rat.to_float l.l_rate /. Rat.to_float l.l_sess.Session.demand)
+                   else None)
+             in
+             let samples =
+               [
+                 ("horizon.throughput", throughput);
+                 ("horizon.active", float_of_int active);
+                 ("horizon.admitted", float_of_int !ep_adm);
+                 ("horizon.headroom", 1.0 -. Rat.to_float port_now);
+                 ("session.retention", retention_min);
+                 ("session.delivered_fraction", delivered_min);
+               ]
+             in
+             List.iter
+               (fun (name, v) ->
+                 (match telemetry with
+                 | Some sink -> Timeseries.sample sink name ~time:tf v
+                 | None -> ());
+                 match slo_engine with
+                 | Some en -> ignore (Slo.observe en ~time:tf name v)
+                 | None -> ())
+               samples
+           end;
            epochs :=
              {
                ep_index = i;
@@ -836,6 +961,19 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
       | [] -> 0.0
       | _ -> List.fold_left ( +. ) 0.0 gaps /. float_of_int (List.length gaps)
     in
+    (* Worst instantaneous delivered fraction vs admitted rate over all
+       non-rejected sessions: 1.0 means nobody was ever degraded below
+       admission; 0 means some session was fully suspended at least
+       once. Exposed as a last-write-wins gauge for the regression gate. *)
+    let min_df =
+      List.fold_left
+        (fun acc r ->
+          if r.sr_outcome <> Rejected && Rat.sign r.sr_admitted_rate > 0 then
+            Float.min acc (Rat.to_float r.sr_min_rate /. Rat.to_float r.sr_admitted_rate)
+          else acc)
+        1.0 session_list
+    in
+    Metrics.set_gauge m_df_min min_df;
     Ok
       {
         hz_epochs = epoch_list;
@@ -864,6 +1002,8 @@ let run ?(now = Unix.gettimeofday) ?(config = default_config) ?(faults = [])
             0.0 session_list;
         hz_mean_lb_gap = mean_gap;
         hz_schedules = List.rev !schedules;
+        hz_slo_events = (match slo_engine with Some en -> Slo.events en | None -> []);
+        hz_min_delivered_fraction = min_df;
       }
 
 (* --- rendering and digests --------------------------------------------- *)

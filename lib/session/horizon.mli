@@ -91,6 +91,12 @@ type session_record = {
   sr_lb : float;
   sr_replans : int;
   sr_degraded_epochs : int;
+  sr_burn_epochs : int;
+      (** epochs spent below [slo_retention * sr_admitted_rate] at an
+          epoch boundary, suspended epochs included — the error-budget
+          spend behind the burn rate [slo_enforce] feeds back (PR 10).
+          [sr_degraded_epochs] counts degrade {e actions}; this counts
+          {e time} out of SLO. *)
   sr_slo_ok : bool;
 }
 
@@ -141,6 +147,14 @@ type report = {
       (** every in-force schedule ever adopted, as
           [(epoch, session id, schedule)] in adoption order; each passed
           {!Schedule.check} when adopted *)
+  hz_slo_events : Slo.event list;
+      (** breach/recovery events emitted by the [?slo] objectives,
+          chronological; empty without objectives *)
+  hz_min_delivered_fraction : float;
+      (** worst instantaneous delivered fraction vs admitted rate over
+          all non-rejected sessions (1.0 = nobody ever degraded, 0 =
+          some session was suspended at least once); also exported as
+          the [session.delivered_fraction.min] gauge *)
 }
 
 (** [run ?now ?config ?faults p sessions ~horizon] replays the workload
@@ -150,11 +164,45 @@ type report = {
     generators guarantee). [now] (default [Unix.gettimeofday]) only
     feeds the timing telemetry, never a decision. Updates the
     [session.*] metrics and records [session.run] / [session.epoch] /
-    [session.plan] trace spans. *)
+    [session.plan] trace spans.
+
+    {b Telemetry (PR 10).} [?telemetry] receives epoch-boundary samples
+    on the simulated clock: [horizon.throughput] (sum of live rates),
+    [horizon.active], [horizon.admitted] (this epoch),
+    [horizon.headroom] (1 − worst port occupation), and the worst live
+    [session.retention] (rate/admitted) and [session.delivered_fraction]
+    (rate/demand). [?slo] objectives are evaluated over the same
+    samples; their breach/recovery events land in [hz_slo_events].
+    Both are pure observers — sampling happens on epoch boundaries
+    only and nothing reads the sink or the engine back into a
+    decision, so the {!digest} is bit-identical with sampling on or
+    off (pinned by a seeded test).
+
+    {b In-lifetime SLO enforcement (PR 10, closes the ROADMAP item 3
+    follow-on).} With [slo_enforce], the per-session burn rate — the
+    out-of-SLO epoch fraction over the [1 - slo_retention] error
+    budget, the same SRE burn-rate form {!Slo} uses — feeds back into
+    two decision points: sessions spending their budget apply their
+    re-plans {e first} (worst burn first, capturing freed capacity
+    before slack-rich peers instead of yielding to id order), and
+    within a victim priority class the degrade-then-preempt ladder
+    charges victims whose budget is already burning first — their
+    budget is sunk cost, so a slack-rich peer is kept inside its SLO
+    instead of starting a fresh breach. Admission {e outcomes} on the
+    S1 workload are unchanged and random-workload shortfall never
+    worsens (both shape-checked in the bench); the bench's
+    deterministic contention duel shows the mechanism: a degraded
+    session that loses the post-departure capacity race under id order
+    wins it under enforcement and recovers to full demand. Enforcement
+    changes rates, so the digest differs from an enforcement-off run —
+    determinism across [jobs] values is preserved. *)
 val run :
   ?now:(unit -> float) ->
   ?config:config ->
   ?faults:Fault.scenario ->
+  ?telemetry:Timeseries.t ->
+  ?slo:Slo.objective list ->
+  ?slo_enforce:bool ->
   Platform.t ->
   Session.t list ->
   horizon:Rat.t ->

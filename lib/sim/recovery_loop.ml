@@ -85,8 +85,8 @@ let runs = Metrics.counter "recovery.runs"
 let replan_attempts = Metrics.counter "recovery.replan_attempts"
 let replan_seconds = Metrics.histogram "recovery.replan_seconds"
 
-let run_validated ~now ~pol ~(planner : planner) (p : Platform.t)
-    (sched : Schedule.t) (scenario : Fault.scenario) =
+let run_validated ~now ~pol ~(planner : planner) ~telemetry ~sim_offset
+    (p : Platform.t) (sched : Schedule.t) (scenario : Fault.scenario) =
   Metrics.incr runs;
   Trace.with_span ~cat:"recovery" "recovery.run"
     ~result:(fun o ->
@@ -153,6 +153,12 @@ let run_validated ~now ~pol ~(planner : planner) (p : Platform.t)
       in
       let dt = now () -. t0 in
       Metrics.observe replan_seconds dt;
+      (match telemetry with
+      | Some sink ->
+        Timeseries.sample sink "recovery.replan_seconds"
+          ~time:(sim_offset +. Rat.to_float !clock)
+          dt
+      | None -> ());
       if dt > pol.replan_deadline then begin
         emit (Deadline_exceeded { n; seconds = dt; deadline = pol.replan_deadline });
         emit (Fallback_to_checkpoint { n });
@@ -258,8 +264,9 @@ let run_validated ~now ~pol ~(planner : planner) (p : Platform.t)
       else degrade [] surviving full_err
   end
 
-let run ?(now = Unix.gettimeofday) ?policy ?(planner : planner option)
-    (p : Platform.t) (sched : Schedule.t) (scenario : Fault.scenario) =
+let run ?(now = Unix.gettimeofday) ?policy ?(planner : planner option) ?telemetry
+    ?(sim_offset = 0.0) (p : Platform.t) (sched : Schedule.t)
+    (scenario : Fault.scenario) =
   (* The default planner threads the injected clock into Repair.plan, so a
      fake-clock run never reads the wall clock anywhere on the re-plan path
      (replan_seconds included) — a caller-supplied planner owns its own
@@ -272,7 +279,7 @@ let run ?(now = Unix.gettimeofday) ?policy ?(planner : planner option)
   let pol = match policy with Some pol -> pol | None -> default_policy p in
   match validate_policy p pol with
   | Error e -> Error e
-  | Ok () -> Ok (run_validated ~now ~pol ~planner p sched scenario)
+  | Ok () -> Ok (run_validated ~now ~pol ~planner ~telemetry ~sim_offset p sched scenario)
 
 let pp_event fmt = function
   | Failure_observed e ->

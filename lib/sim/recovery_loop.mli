@@ -107,11 +107,17 @@ type outcome = {
     runs fully deterministic, e.g. to provoke deadline overruns without
     sleeping under a tight deadline.
     Every attempt's wall-clock cost lands in the [recovery.replan_seconds]
-    histogram. *)
+    histogram; with [?telemetry] it is also sampled into the
+    [recovery.replan_seconds] time series at simulated time
+    [sim_offset + clock] (PR 10) — {!Soak} passes its sink and the episode
+    time so repair latency lines up with the driver's other series. Pure
+    observation: the sink is never read back into a decision. *)
 val run :
   ?now:(unit -> float) ->
   ?policy:policy ->
   ?planner:planner ->
+  ?telemetry:Timeseries.t ->
+  ?sim_offset:float ->
   Platform.t ->
   Schedule.t ->
   Fault.scenario ->

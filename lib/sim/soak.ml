@@ -67,6 +67,7 @@ type report = {
   sk_final_throughput : float;
   sk_schedules : Schedule.t list;
   sk_log : soak_event list;
+  sk_slo_events : Slo.event list;
 }
 
 let runs_m = Metrics.counter "soak.runs"
@@ -276,7 +277,8 @@ let group_batches scenario ~horizon =
   in
   (List.length clipped, group sorted)
 
-let run_validated ~now ~cfg (p : Platform.t) (sched : Schedule.t) scenario ~horizon =
+let run_validated ~now ~cfg ~telemetry ~slo (p : Platform.t) (sched : Schedule.t)
+    scenario ~horizon =
   Metrics.incr runs_m;
   Trace.with_span ~cat:"soak" "soak.run"
     ~result:(fun r ->
@@ -313,6 +315,19 @@ let run_validated ~now ~cfg (p : Platform.t) (sched : Schedule.t) scenario ~hori
   Hashtbl.replace cache (damage_key Repair.no_damage) (sched, thr0, true);
   let ticks = ref [] in
   let emit e = log := e :: !log in
+  (* Epoch-boundary sampling (PR 10): pure observers — nothing below ever
+     reads the sink or the SLO engine back into a decision, so a sampled
+     run takes exactly the decisions an unsampled one does. *)
+  let slo_engine = match slo with [] -> None | objectives -> Some (Slo.engine objectives) in
+  let sampling = Option.is_some telemetry || Option.is_some slo_engine in
+  let observe name ~time v =
+    (match telemetry with
+    | Some sink -> Timeseries.sample sink name ~time v
+    | None -> ());
+    match slo_engine with
+    | Some en -> ignore (Slo.observe en ~time name v)
+    | None -> ()
+  in
   (* A tick is only a "wake me up by then" request: if an earlier tick is
      already pending, that epoch will re-examine the same state, so the
      later request is dropped. This keeps the queue from chaining — one
@@ -392,8 +407,8 @@ let run_validated ~now ~cfg (p : Platform.t) (sched : Schedule.t) scenario ~hori
     paid := false;
     let key = damage_key eff in
     match
-      Recovery_loop.run ~now ~policy:cfg.policy ~planner:gated_planner p !cur
-        (scenario_of_damage eff)
+      Recovery_loop.run ~now ~policy:cfg.policy ~planner:gated_planner ?telemetry
+        ~sim_offset:(Rat.to_float t) p !cur (scenario_of_damage eff)
     with
     | Error e ->
       (* the policy was validated on entry, so this cannot happen *)
@@ -567,10 +582,25 @@ let run_validated ~now ~cfg (p : Platform.t) (sched : Schedule.t) scenario ~hori
     end;
     (* While components sit suppressed, the fault timeline alone will not
        wake the controller to release them — schedule a tick. *)
-    match cfg.controller with
+    (match cfg.controller with
     | Damped d when Hashtbl.fold (fun _ h acc -> acc || h.suppressed) health false ->
       push_tick (Rat.add t (rat_of_float (Float.max d.hold_down 1.0)))
-    | _ -> ()
+    | _ -> ());
+    if sampling then begin
+      let tf = Rat.to_float t in
+      let suppressed_n =
+        Hashtbl.fold (fun _ h acc -> if h.suppressed then acc + 1 else acc) health 0
+      in
+      observe "soak.throughput" ~time:tf !cur_rate;
+      observe "soak.delivered_fraction" ~time:tf
+        (if thr0 > 0.0 then !cur_rate /. thr0 else 0.0);
+      (* Instantaneous coverage indicator: the SLO engine's windows turn the
+         0/1 samples into a windowed availability fraction, which is exactly
+         what a burn rate over an availability objective wants. *)
+      observe "soak.availability" ~time:tf (if !full_cov then 1.0 else 0.0);
+      observe "soak.tokens" ~time:tf !tokens;
+      observe "soak.suppressed" ~time:tf (float_of_int suppressed_n)
+    end
   in
   let rec drive batches =
     match (batches, !ticks) with
@@ -623,10 +653,11 @@ let run_validated ~now ~cfg (p : Platform.t) (sched : Schedule.t) scenario ~hori
     sk_final_throughput = !cur_rate;
     sk_schedules = List.rev !schedules;
     sk_log = List.rev !log;
+    sk_slo_events = (match slo_engine with Some en -> Slo.events en | None -> []);
   }
 
-let run ?(now = Unix.gettimeofday) ?config (p : Platform.t) (sched : Schedule.t)
-    scenario ~horizon =
+let run ?(now = Unix.gettimeofday) ?config ?telemetry ?(slo = []) (p : Platform.t)
+    (sched : Schedule.t) scenario ~horizon =
   let cfg = match config with Some c -> c | None -> default_config p in
   match validate_config p cfg with
   | Error _ as e -> e
@@ -638,7 +669,7 @@ let run ?(now = Unix.gettimeofday) ?config (p : Platform.t) (sched : Schedule.t)
       | Ok () -> (
         match Schedule.check sched with
         | Error e -> Error ("soak: initial schedule fails check: " ^ e)
-        | Ok () -> Ok (run_validated ~now ~cfg p sched scenario ~horizon)))
+        | Ok () -> Ok (run_validated ~now ~cfg ~telemetry ~slo p sched scenario ~horizon)))
 
 let pp_event fmt = function
   | Flap e ->

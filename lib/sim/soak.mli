@@ -127,6 +127,9 @@ type report = {
       (** every schedule that was ever in force, chronological, the initial
           one first — each passed {!Schedule.check} before adoption *)
   sk_log : soak_event list;
+  sk_slo_events : Slo.event list;
+      (** breach/recovery events emitted by the [?slo] objectives,
+          chronological; empty without objectives *)
 }
 
 (** [run ?now ?config p sched scenario ~horizon] soaks [sched] (the
@@ -136,10 +139,27 @@ type report = {
     clock behind re-plan timing, injected end-to-end so fake-clock runs are
     fully deterministic. Updates the [soak.*] metrics and the
     [recovery.replans_per_hour] gauge, and traces [soak.run] plus
-    suppress/release/re-integration instants. *)
+    suppress/release/re-integration instants.
+
+    {b Telemetry (PR 10).} [?telemetry] receives samples at every decision
+    instant on the simulated clock: [soak.throughput] (current delivered
+    rate), [soak.delivered_fraction] (rate over the nominal schedule's),
+    [soak.availability] (1 when every nominal target is covered, else 0 —
+    the SLO windows turn the indicator into a windowed availability
+    fraction), [soak.tokens] (re-plan budget) and [soak.suppressed]
+    (flap-damped components held out of service). The sink is also handed
+    to {!Recovery_loop.run}, so per-attempt [recovery.replan_seconds]
+    samples land at episode time. [?slo] objectives are evaluated over the
+    same samples; their breach/recovery events land in [sk_slo_events] —
+    joined with the fault timeline and the [sk_log] repair actions they
+    become {!Incident} timelines. Both are pure observers: nothing reads
+    them back into a decision, so a sampled run takes exactly the
+    decisions an unsampled one does. *)
 val run :
   ?now:(unit -> float) ->
   ?config:config ->
+  ?telemetry:Timeseries.t ->
+  ?slo:Slo.objective list ->
   Platform.t ->
   Schedule.t ->
   Fault.scenario ->

@@ -22,6 +22,7 @@ let () =
       ("warm", Test_warm.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
+      ("slo", Test_slo.suite);
       ("profile", Test_profile.suite);
       ("prefix", Test_prefix.suite);
     ]

@@ -340,7 +340,7 @@ let test_metrics_registry () =
   Metrics.observe h 1.0;
   Metrics.observe h 2.0;
   match Metrics.find (Metrics.snapshot ()) "test_obs.histo" with
-  | Some (Metrics.Histogram { h_count; h_sum; h_min; h_max }) ->
+  | Some (Metrics.Histogram { h_count; h_sum; h_min; h_max; _ }) ->
     Alcotest.(check int) "histo count" 3 h_count;
     Alcotest.(check (float 1e-9)) "histo sum" 6.0 h_sum;
     Alcotest.(check (float 0.0)) "histo min" 1.0 h_min;

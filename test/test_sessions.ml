@@ -166,11 +166,159 @@ let test_sessions_property_sweep () =
     end
   done
 
+let test_slo_sampling_digest_invariant () =
+  (* Telemetry and SLO evaluation are pure observers: turning them on —
+     at any Pool fan-out — must leave every planning decision, and so
+     the digest, bit-identical. The sink check keeps the property
+     non-vacuous. *)
+  for seed = 1 to 3 do
+    let p = tiers seed ~n_targets:8 in
+    let horizon = Rat.of_int 150 in
+    let sessions = workload seed p ~horizon () in
+    let faults =
+      Fault.random_burst (Random.State.make [| seed; 9002 |]) p ~k:3 ~window:Rat.one
+        ~at:(Rat.of_int 75)
+    in
+    let objectives =
+      match Slo.parse "session.retention>=0.95,fast=15,slow=45,hold=15" with
+      | Ok o -> [ o ]
+      | Error e -> Alcotest.fail e
+    in
+    let go ~jobs ~sampled =
+      let sink = if sampled then Some (Timeseries.create ()) else None in
+      let slo = if sampled then objectives else [] in
+      match
+        Horizon.run ~now:(fake_clock ())
+          ~config:{ Horizon.default_config with Horizon.jobs }
+          ~faults ?telemetry:sink ~slo p sessions ~horizon
+      with
+      | Error e -> Alcotest.fail e
+      | Ok rep -> (rep, sink)
+    in
+    let plain, _ = go ~jobs:1 ~sampled:false in
+    let sampled1, sink1 = go ~jobs:1 ~sampled:true in
+    let sampled3, _ = go ~jobs:3 ~sampled:true in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: sampling leaves the digest alone" seed)
+      (Horizon.digest plain) (Horizon.digest sampled1);
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: sampled digest stable across job counts" seed)
+      (Horizon.digest sampled1) (Horizon.digest sampled3);
+    (match sink1 with
+    | Some sink ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: the sink actually collected series" seed)
+        true
+        (List.mem "horizon.throughput" (Timeseries.names sink))
+    | None -> Alcotest.fail "sampled run lost its sink");
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: sampled run kept its SLO event log" seed)
+      true
+      (sampled1.Horizon.hz_slo_events = sampled3.Horizon.hz_slo_events)
+  done
+
+let test_slo_enforce_admissions_equal () =
+  (* Enforcement re-orders re-plan application and victim choice, never
+     admission outcomes: on vs off must admit and reject the same
+     sessions. *)
+  for seed = 1 to 3 do
+    let p = tiers seed ~n_targets:8 in
+    let horizon = Rat.of_int 150 in
+    let sessions = workload seed p ~horizon () in
+    let faults =
+      Fault.random_burst (Random.State.make [| seed; 9002 |]) p ~k:3 ~window:Rat.one
+        ~at:(Rat.of_int 75)
+    in
+    let go enforce =
+      match
+        Horizon.run ~now:(fake_clock ()) ~faults ~slo_enforce:enforce p sessions ~horizon
+      with
+      | Error e -> Alcotest.fail e
+      | Ok rep -> rep
+    in
+    let off = go false and on = go true in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: same admissions" seed)
+      off.Horizon.hz_admitted on.Horizon.hz_admitted;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: same rejections" seed)
+      off.Horizon.hz_rejected on.Horizon.hz_rejected;
+    List.iter2
+      (fun (a : Horizon.session_record) (b : Horizon.session_record) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d session %d: same admitted rate" seed
+             a.Horizon.sr_session.Session.id)
+          true
+          Rat.(equal a.Horizon.sr_admitted_rate b.Horizon.sr_admitted_rate))
+      off.Horizon.hz_sessions on.Horizon.hz_sessions
+  done
+
+let test_slo_enforce_duel_rescue () =
+  (* The deterministic contention duel (also shape-checked in the
+     bench): three sessions share one LAN uplink; a transient
+     high-priority arrival degrades the low-priority S1 below its
+     retention floor, and when it departs both S1 and the hungry S0
+     re-plan for the release. Without enforcement S0 applies first (id
+     order) and S1 stays pinned below its floor; with enforcement the
+     burning S1 applies first and recovers to full demand. *)
+  let horizon = Rat.of_int 200 in
+  let p =
+    Tiers.generate (Random.State.make [| 1; 6271 |]) Tiers.small_params ~n_targets:8
+  in
+  let lans = Platform.lan_nodes p in
+  let source = List.hd lans in
+  let targets = List.filteri (fun i _ -> i >= 1 && i <= 4) lans in
+  let standalone =
+    match
+      Mcph.run
+        (Platform.restrict
+           (Platform.make ~kinds:p.Platform.kinds p.Platform.graph ~source ~targets)
+           ~keep:(Platform.is_active p))
+    with
+    | Some r -> r.Mcph.throughput
+    | None -> Alcotest.fail "duel: no standalone plan"
+  in
+  let frac num den = Rat.mul (Rat.of_ints num den) standalone in
+  let mk ~id ~prio ~arr ~dep d =
+    Session.make ~id ~source ~targets ~demand:d ~priority:prio
+      ~arrival:(Rat.of_int arr) ~departure:(Rat.of_int dep)
+  in
+  let sessions =
+    [
+      mk ~id:1 ~prio:0 ~arr:0 ~dep:200 (frac 5 10);
+      mk ~id:0 ~prio:1 ~arr:10 ~dep:200 (frac 8 10);
+      mk ~id:2 ~prio:2 ~arr:20 ~dep:70 (frac 7 10);
+    ]
+  in
+  let go enforce =
+    match Horizon.run ~now:(fake_clock ()) ~slo_enforce:enforce p sessions ~horizon with
+    | Error e -> Alcotest.fail e
+    | Ok rep -> rep
+  in
+  let off = go false and on = go true in
+  Alcotest.(check int) "duel: admissions unchanged" off.Horizon.hz_admitted
+    on.Horizon.hz_admitted;
+  let victim (rep : Horizon.report) =
+    List.find
+      (fun (s : Horizon.session_record) -> s.Horizon.sr_session.Session.id = 1)
+      rep.Horizon.hz_sessions
+  in
+  let vo = victim off and vn = victim on in
+  Alcotest.(check bool) "duel: victim burned without enforcement" true
+    (vo.Horizon.sr_burn_epochs > vn.Horizon.sr_burn_epochs);
+  Alcotest.(check bool) "duel: victim recovers to full admitted rate" true
+    Rat.(equal vn.Horizon.sr_final_rate vn.Horizon.sr_admitted_rate);
+  Alcotest.(check bool) "duel: without enforcement it stays degraded" true
+    Rat.(vo.Horizon.sr_final_rate < vo.Horizon.sr_admitted_rate)
+
 let suite =
   [
     ("workload generator keeps its contract", `Quick, test_workload_contract);
     ("workload streams are seed-stable", `Quick, test_workload_seed_stability);
     ("fake clock makes runs deterministic", `Quick, test_run_deterministic);
     ("warm and cold modes admit identically", `Quick, test_warm_cold_equal_admissions);
+    ("SLO sampling never perturbs the digest", `Quick, test_slo_sampling_digest_invariant);
+    ("SLO enforcement leaves admissions unchanged", `Quick, test_slo_enforce_admissions_equal);
+    ("SLO enforcement rescues the duel victim", `Quick, test_slo_enforce_duel_rescue);
     ("session property sweep: 200 seeded cases", `Slow, test_sessions_property_sweep);
   ]
